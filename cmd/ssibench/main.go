@@ -1,0 +1,95 @@
+// Command ssibench regenerates the figures of the paper's evaluation
+// chapter: for each figure it sweeps the multiprogramming level over the
+// paper's axis (1..50) at the three concurrency controls (SI, Serializable
+// SI, S2PL) and prints the throughput series plus the abort breakdown —
+// the same rows the thesis plots.
+//
+// Usage:
+//
+//	ssibench                          # every figure, quick scale
+//	ssibench -figure 6.1,6.8          # selected figures
+//	ssibench -paper-scale             # thesis data volumes (slow)
+//	ssibench -duration 2s -trials 3   # longer, with confidence intervals
+//	ssibench -mpl 1,10,50 -csv out.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"ssi/internal/figures"
+	"ssi/internal/harness"
+)
+
+func main() {
+	var (
+		figureList = flag.String("figure", "all", "comma-separated figure ids (e.g. 6.1,6.12) or 'all'")
+		duration   = flag.Duration("duration", 500*time.Millisecond, "measurement duration per cell")
+		warmup     = flag.Duration("warmup", 100*time.Millisecond, "warmup per cell")
+		trials     = flag.Int("trials", 1, "trials per cell (for 95% confidence intervals)")
+		mplList    = flag.String("mpl", "", "comma-separated MPL override (default: the paper's 1,2,3,5,10,20,50)")
+		paperScale = flag.Bool("paper-scale", false, "use the thesis data volumes (W=10 standard TPC-C etc.)")
+		csvPath    = flag.String("csv", "", "also write results as CSV to this file")
+	)
+	flag.Parse()
+
+	scale := figures.QuickScale()
+	if *paperScale {
+		scale = figures.PaperScale()
+	}
+
+	var selected []harness.Figure
+	if *figureList == "all" {
+		selected = figures.All(scale)
+	} else {
+		for _, id := range strings.Split(*figureList, ",") {
+			f, ok := figures.ByID(scale, strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "ssibench: unknown figure %q\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, f)
+		}
+	}
+
+	var mpls []int
+	if *mplList != "" {
+		for _, s := range strings.Split(*mplList, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "ssibench: bad mpl %q\n", s)
+				os.Exit(2)
+			}
+			mpls = append(mpls, n)
+		}
+	}
+
+	var csv *os.File
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ssibench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		csv = f
+	}
+
+	opts := harness.Options{Duration: *duration, Warmup: *warmup, Trials: *trials, Seed: 1}
+	for _, f := range selected {
+		if mpls != nil {
+			f.MPLs = mpls
+		}
+		start := time.Now()
+		results := harness.RunFigure(f, opts)
+		harness.PrintFigure(os.Stdout, f, results)
+		fmt.Printf("   (measured in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		if csv != nil {
+			harness.CSV(csv, f, results)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+// Package ssi is the root of a from-scratch Go reproduction of
+// "Serializable Isolation for Snapshot Databases" (Cahill, Fekete, Röhm;
+// SIGMOD 2008 / Cahill's 2009 thesis).
+//
+// The public embedded-database API lives in package ssidb. The paper's
+// algorithm (Serializable Snapshot Isolation) and all of its substrates —
+// lock manager, MVCC store, page-structured B+tree, group-commit log — are
+// implemented under internal/. The three benchmarks the paper evaluates
+// (SmallBank, sibench, TPC-C++) live under internal/workload, and every
+// figure of the paper's evaluation chapter has a corresponding benchmark in
+// bench_test.go plus a full-sweep runner in cmd/ssibench.
+package ssi

@@ -1,0 +1,232 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func key(i int) []byte { return []byte(fmt.Sprintf("k%06d", i)) }
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(4)
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tr.Len())
+	}
+	if _, ok := tr.Get(key(1)); ok {
+		t.Fatal("Get on empty tree returned ok")
+	}
+	if _, ok := tr.Successor(key(1)); ok {
+		t.Fatal("Successor on empty tree returned ok")
+	}
+	if got := tr.PageCount(); got != 1 {
+		t.Fatalf("PageCount = %d, want 1 (the root leaf)", got)
+	}
+	n := 0
+	tr.Ascend(nil, func([]byte, any, uint32) bool { n++; return true })
+	if n != 0 {
+		t.Fatalf("Ascend visited %d keys on empty tree", n)
+	}
+}
+
+func TestInsertGetOrdered(t *testing.T) {
+	tr := New(4)
+	const n = 500
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, i := range perm {
+		if _, loaded := tr.GetOrInsert(key(i), i); loaded {
+			t.Fatalf("key %d reported as existing on first insert", i)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := tr.Get(key(i))
+		if !ok || v.(int) != i {
+			t.Fatalf("Get(%d) = %v, %v", i, v, ok)
+		}
+	}
+	// GetOrInsert on existing key returns the stored value.
+	v, loaded := tr.GetOrInsert(key(7), -1)
+	if !loaded || v.(int) != 7 {
+		t.Fatalf("GetOrInsert existing = %v, %v", v, loaded)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len changed on re-insert: %d", tr.Len())
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New(3)
+	for i := 0; i < 100; i += 2 { // even keys only
+		tr.GetOrInsert(key(i), i)
+	}
+	var got []int
+	tr.Ascend(key(10), func(k []byte, v any, _ uint32) bool {
+		if v.(int) >= 30 {
+			return false
+		}
+		got = append(got, v.(int))
+		return true
+	})
+	want := []int{10, 12, 14, 16, 18, 20, 22, 24, 26, 28}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// Ascend from a key between stored keys starts at the next stored key.
+	var first int
+	tr.Ascend(key(11), func(_ []byte, v any, _ uint32) bool { first = v.(int); return false })
+	if first != 12 {
+		t.Fatalf("Ascend(11) first = %d, want 12", first)
+	}
+}
+
+func TestSuccessor(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 50; i += 5 {
+		tr.GetOrInsert(key(i), i)
+	}
+	succ, ok := tr.Successor(key(10))
+	if !ok || !bytes.Equal(succ, key(15)) {
+		t.Fatalf("Successor(10) = %q, %v", succ, ok)
+	}
+	succ, ok = tr.Successor(key(11))
+	if !ok || !bytes.Equal(succ, key(15)) {
+		t.Fatalf("Successor(11) = %q, %v", succ, ok)
+	}
+	if _, ok := tr.Successor(key(45)); ok {
+		t.Fatal("Successor of last key should not exist")
+	}
+}
+
+func TestLeafPageStableForExistingKeys(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 64; i++ {
+		tr.GetOrInsert(key(i), i)
+	}
+	// An existing key's leaf page must match what Ascend reports.
+	for i := 0; i < 64; i++ {
+		want := tr.LeafPage(key(i))
+		tr.Ascend(key(i), func(k []byte, _ any, page uint32) bool {
+			if bytes.Equal(k, key(i)) && page != want {
+				t.Fatalf("key %d: LeafPage=%d Ascend page=%d", i, want, page)
+			}
+			return false
+		})
+	}
+}
+
+func TestPathPagesRootFirst(t *testing.T) {
+	tr := New(2)
+	for i := 0; i < 40; i++ {
+		tr.GetOrInsert(key(i), i)
+	}
+	path := tr.PathPages(key(20))
+	if len(path) < 2 {
+		t.Fatalf("tree of 40 keys with page size 2 should be deep, path=%v", path)
+	}
+	if path[len(path)-1] != tr.LeafPage(key(20)) {
+		t.Fatalf("path %v does not end at leaf %d", path, tr.LeafPage(key(20)))
+	}
+}
+
+func TestInsertWillSplit(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 4; i++ {
+		tr.GetOrInsert(key(i*10), i)
+	}
+	if !tr.InsertWillSplit(key(5)) {
+		t.Fatal("leaf with 4/4 keys should split on new key")
+	}
+	if tr.InsertWillSplit(key(10)) {
+		t.Fatal("existing key never splits")
+	}
+	before := tr.PageCount()
+	tr.GetOrInsert(key(5), 5)
+	if tr.PageCount() <= before {
+		t.Fatalf("split did not allocate pages: %d -> %d", before, tr.PageCount())
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAgainstReference drives random key sets through the tree and a
+// sorted-slice reference, comparing contents, order and successor queries.
+func TestQuickAgainstReference(t *testing.T) {
+	f := func(keys [][]byte, order uint8) bool {
+		tr := New(int(order%8) + 2)
+		ref := map[string]int{}
+		for i, k := range keys {
+			if len(k) == 0 {
+				continue
+			}
+			if _, exists := ref[string(k)]; !exists {
+				ref[string(k)] = i
+			}
+			tr.GetOrInsert(k, ref[string(k)])
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		if err := tr.Check(); err != nil {
+			return false
+		}
+		sorted := make([]string, 0, len(ref))
+		for k := range ref {
+			sorted = append(sorted, k)
+		}
+		sort.Strings(sorted)
+		i := 0
+		good := true
+		tr.Ascend(nil, func(k []byte, v any, _ uint32) bool {
+			if i >= len(sorted) || string(k) != sorted[i] || v.(int) != ref[sorted[i]] {
+				good = false
+				return false
+			}
+			i++
+			return true
+		})
+		return good && i == len(sorted)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeSequentialInsert(t *testing.T) {
+	tr := New(DefaultMaxKeys)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		tr.GetOrInsert(key(i), i)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	tr.Ascend(nil, func(k []byte, v any, _ uint32) bool {
+		if v.(int) != i {
+			t.Fatalf("position %d holds %v", i, v)
+		}
+		i++
+		return true
+	})
+	if i != n {
+		t.Fatalf("visited %d of %d", i, n)
+	}
+}

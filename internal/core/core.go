@@ -1,0 +1,570 @@
+// Package core implements the transaction heart of Serializable Snapshot
+// Isolation (SSI) as described in Cahill, Fekete and Röhm, "Serializable
+// Isolation for Snapshot Databases" (SIGMOD 2008; Cahill's 2009 thesis).
+//
+// It provides transaction records with begin/commit timestamps, snapshot
+// assignment (including the deferred-snapshot optimisation of thesis §4.5),
+// the rw-antidependency conflict marking of thesis Figures 3.3 and 3.9, the
+// commit-time dangerous-structure checks of Figures 3.2 and 3.10, and the
+// suspended-transaction lifecycle of §3.3: transactions that commit holding
+// SIREAD locks stay visible to conflict detection until every concurrent
+// transaction has finished.
+//
+// A single Manager mutex implements the paper's "atomic begin ... atomic end"
+// sections, playing the role of InnoDB's kernel mutex in the prototype the
+// thesis describes.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// TS is a logical timestamp drawn from the Manager's global clock. Begin and
+// commit events each consume one tick, so all begins and commits are totally
+// ordered and no two timestamps are equal.
+type TS = uint64
+
+// tsInfinity stands in for the commit time of a transaction that has not
+// committed: it is later than every assigned timestamp.
+const tsInfinity TS = math.MaxUint64
+
+// Isolation selects the concurrency control algorithm for one transaction.
+// Levels may be mixed freely within one database (thesis §2.6.3, §3.8): an
+// S2PL reader blocks SI writers through the shared lock manager, and SI
+// queries can run alongside Serializable SI updates.
+type Isolation int
+
+const (
+	// SnapshotIsolation is plain SI: reads from a consistent snapshot,
+	// write locks plus the First-Committer-Wins rule, no read locks and no
+	// serializability guarantee.
+	SnapshotIsolation Isolation = iota
+	// SerializableSI is the paper's contribution: SI plus SIREAD locks and
+	// rw-conflict tracking, aborting transactions that could form a
+	// dangerous structure. All-SerializableSI histories are serializable.
+	SerializableSI
+	// S2PL is classical strict two-phase locking: shared locks for reads
+	// (held to commit), exclusive locks for writes, deadlock detection.
+	S2PL
+)
+
+// String returns the conventional abbreviation used throughout the paper.
+func (i Isolation) String() string {
+	switch i {
+	case SnapshotIsolation:
+		return "SI"
+	case SerializableSI:
+		return "SSI"
+	case S2PL:
+		return "S2PL"
+	default:
+		return fmt.Sprintf("Isolation(%d)", int(i))
+	}
+}
+
+// TracksConflicts reports whether transactions at this level participate in
+// SSI rw-dependency bookkeeping.
+func (i Isolation) TracksConflicts() bool { return i == SerializableSI }
+
+// Detector selects how precisely SSI tracks the conflicting transactions.
+type Detector int
+
+const (
+	// DetectorBasic is the boolean-flag algorithm of thesis §3.2: a
+	// transaction with both an incoming and an outgoing rw-edge is aborted.
+	// It is what the Berkeley DB prototype implemented.
+	DetectorBasic Detector = iota
+	// DetectorPrecise is the enhanced algorithm of thesis §3.6 (Figures 3.9
+	// and 3.10): single conflicts remember which transaction they involve,
+	// and an abort is only forced when the outgoing side could have
+	// committed before the incoming side — eliminating the Figure 3.8
+	// class of false positives. It is what the InnoDB prototype implemented.
+	DetectorPrecise
+)
+
+// Sentinel errors shared by the whole engine. Benchmark harnesses classify
+// aborts with errors.Is against these, mirroring the paper's breakdown into
+// deadlocks, update conflicts and unsafe errors (Figure 6.1(b) etc.).
+var (
+	// ErrUnsafe corresponds to Berkeley DB's DB_SNAPSHOT_UNSAFE and
+	// InnoDB's DB_UNSAFE_TRANSACTION: committing would risk a
+	// non-serializable execution, so the transaction was aborted.
+	ErrUnsafe = errors.New("ssi: unsafe pattern of rw-conflicts (potential non-serializable execution)")
+	// ErrWriteConflict corresponds to DB_SNAPSHOT_CONFLICT /
+	// DB_UPDATE_CONFLICT: the First-Committer-Wins rule rejected an update
+	// because a concurrent transaction committed a newer version.
+	ErrWriteConflict = errors.New("ssi: write conflict (first-committer-wins)")
+	// ErrDeadlock reports that the lock manager chose this transaction as a
+	// deadlock victim.
+	ErrDeadlock = errors.New("ssi: deadlock detected")
+	// ErrTxnDone reports use of a transaction after Commit or Abort.
+	ErrTxnDone = errors.New("ssi: transaction already committed or aborted")
+)
+
+// Status is the lifecycle state of a transaction.
+type Status int32
+
+const (
+	StatusActive Status = iota
+	StatusCommitted
+	StatusAborted
+)
+
+// Txn is one transaction's record. The record outlives commit when the
+// transaction holds SIREAD locks or detected conflicts (it is "suspended",
+// thesis §3.3) so that later operations by concurrent transactions can still
+// find its conflict flags.
+//
+// Fields in the "guarded by Manager.mu" group implement the inConflict /
+// outConflict state of the paper. With DetectorBasic a non-nil reference
+// simply means "flag set" (it is always a self-reference); with
+// DetectorPrecise it names the single conflicting transaction, degrading to a
+// self-reference when there is more than one (thesis §3.6).
+type Txn struct {
+	id  uint64
+	iso Isolation
+	mgr *Manager
+
+	beginTS  atomic.Uint64 // snapshot timestamp; 0 until assigned (§4.5 defers it)
+	commitTS atomic.Uint64 // 0 until committed
+	status   atomic.Int32
+
+	// Guarded by Manager.mu.
+	in        *Txn // transaction with an rw-edge into this one, or self if several
+	out       *Txn // transaction with an rw-edge out of this one, or self if several
+	suspended bool
+}
+
+// ID returns the transaction's unique identifier.
+func (t *Txn) ID() uint64 { return t.id }
+
+// Isolation returns the level the transaction runs at.
+func (t *Txn) Isolation() Isolation { return t.iso }
+
+// Snapshot returns the transaction's read timestamp, or 0 if no snapshot has
+// been assigned yet (no read has happened).
+func (t *Txn) Snapshot() TS { return t.beginTS.Load() }
+
+// CommitTS returns the commit timestamp, or 0 if the transaction has not
+// committed.
+func (t *Txn) CommitTS() TS { return t.commitTS.Load() }
+
+// Status returns the current lifecycle state.
+func (t *Txn) Status() Status { return Status(t.status.Load()) }
+
+// Committed reports whether the transaction has committed. Visibility
+// decisions combine this with CommitTS; both are atomically published by
+// CommitPrepare before the committed status becomes observable.
+func (t *Txn) Committed() bool { return t.Status() == StatusCommitted }
+
+// Aborted reports whether the transaction has aborted.
+func (t *Txn) Aborted() bool { return t.Status() == StatusAborted }
+
+// Done reports whether the transaction has finished either way.
+func (t *Txn) Done() bool { return t.Status() != StatusActive }
+
+// ConcurrentWith reports whether the two transactions' lifetimes overlapped:
+// neither committed before the other began. It implements the overlap test
+// used throughout Chapter 3 ("rl.owner has not committed or
+// commit(rl.owner) > begin(T)"). A transaction with no snapshot yet is
+// treated as beginning in the future, so it cannot overlap anything that has
+// already committed.
+func (t *Txn) ConcurrentWith(u *Txn) bool {
+	if t == u {
+		return false
+	}
+	return !committedBefore(t, u) && !committedBefore(u, t)
+}
+
+// committedBefore reports whether a committed before b began.
+func committedBefore(a, b *Txn) bool {
+	act := a.CommitTS()
+	if act == 0 {
+		return false // a has not committed
+	}
+	bbt := b.Snapshot()
+	if bbt == 0 {
+		return true // b will begin after every already-assigned timestamp
+	}
+	return act < bbt
+}
+
+// Manager owns the global transaction clock, the active and suspended
+// transaction sets, and the SSI conflict-detection logic. One Manager backs
+// one database.
+type Manager struct {
+	detector Detector
+
+	nextID atomic.Uint64
+
+	mu        sync.Mutex
+	clock     TS
+	active    map[*Txn]struct{}
+	suspended []*Txn // committed but kept for conflict detection, in commit order
+}
+
+// NewManager returns a Manager using the given conflict detector.
+func NewManager(d Detector) *Manager {
+	return &Manager{detector: d, active: make(map[*Txn]struct{})}
+}
+
+// Detector returns the configured SSI detector variant.
+func (m *Manager) Detector() Detector { return m.detector }
+
+// Begin starts a transaction at the given isolation level. No snapshot is
+// assigned yet: per thesis §4.5 the read view is chosen lazily so that a
+// transaction whose first statement is an update reads the post-lock state
+// and can never abort under First-Committer-Wins for that statement.
+func (m *Manager) Begin(iso Isolation) *Txn {
+	t := &Txn{id: m.nextID.Add(1), iso: iso, mgr: m}
+	m.mu.Lock()
+	m.active[t] = struct{}{}
+	m.mu.Unlock()
+	return t
+}
+
+// AssignSnapshot gives t its read timestamp if it does not have one yet and
+// returns it. Safe to call repeatedly.
+func (m *Manager) AssignSnapshot(t *Txn) TS {
+	if ts := t.beginTS.Load(); ts != 0 {
+		return ts
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ts := t.beginTS.Load(); ts != 0 {
+		return ts
+	}
+	m.clock++
+	t.beginTS.Store(m.clock)
+	return m.clock
+}
+
+// Now returns the current clock value (the timestamp most recently issued).
+func (m *Manager) Now() TS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.clock
+}
+
+// MarkConflict records an rw-antidependency from reader to writer: reader
+// read a version of some item older than a version created by writer, and
+// the two transactions are concurrent. caller identifies which of the two is
+// executing the operation that discovered the conflict; if the algorithm
+// decides a transaction must abort it is always the caller (the other party,
+// if endangered, is caught by its own commit-time check), and MarkConflict
+// reports that by returning ErrUnsafe. The caller must then abort.
+//
+// This is Figure 3.3 (DetectorBasic) and Figure 3.9 (DetectorPrecise) of the
+// thesis.
+func (m *Manager) MarkConflict(reader, writer, caller *Txn) error {
+	if reader == writer || reader == nil || writer == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	// Conflicts with aborted transactions are irrelevant (§3.7.1): an
+	// aborted transaction's edges cannot appear in the MVSG.
+	if reader.Aborted() || writer.Aborted() {
+		return nil
+	}
+	m.dropAbortedRefsLocked(reader)
+	m.dropAbortedRefsLocked(writer)
+
+	switch m.detector {
+	case DetectorBasic:
+		if writer.Committed() && writer.out != nil {
+			// writer is a committed pivot; the only way to break the
+			// potential cycle is to abort the reader (§3.4). The reader is
+			// necessarily the caller: a committed transaction executes no
+			// operations.
+			return m.abortLocked(reader, caller)
+		}
+		if reader.Committed() && reader.in != nil {
+			// reader is a committed pivot; abort the writer (the caller).
+			return m.abortLocked(writer, caller)
+		}
+	case DetectorPrecise:
+		// Figure 3.9: only dangerous if the committed pivot's outgoing
+		// partner committed no later than the pivot itself — i.e. Tout
+		// could be first to commit in a cycle. A reader-committed pivot is
+		// safe here because the writer (its Tout) is still running and so
+		// cannot have committed first.
+		if writer.Committed() && writer.out != nil && commitTimeLocked(writer.out) <= writer.CommitTS() {
+			return m.abortLocked(reader, caller)
+		}
+	}
+
+	// Record the edge on both endpoints.
+	switch {
+	case m.detector == DetectorBasic:
+		reader.out = reader
+		writer.in = writer
+	default: // DetectorPrecise
+		if reader.out == nil {
+			reader.out = writer
+		} else if reader.out != writer {
+			reader.out = reader // several outgoing partners: degrade to flag
+		}
+		if writer.in == nil {
+			writer.in = reader
+		} else if writer.in != reader {
+			writer.in = writer
+		}
+	}
+	return nil
+}
+
+// abortLocked marks victim aborted. The victim must be the caller — the
+// transaction executing the operation that discovered the conflict — and the
+// error is returned for the caller to propagate while it rolls back.
+func (m *Manager) abortLocked(victim, caller *Txn) error {
+	if victim != caller {
+		// Cannot happen per the analysis in §3.4: the endangered party is
+		// committed, so the running caller is the one to abort. Guard
+		// against regressions anyway.
+		panic(fmt.Sprintf("core: conflict victim %d is not the caller %d", victim.id, caller.id))
+	}
+	victim.status.Store(int32(StatusAborted))
+	delete(m.active, victim)
+	return ErrUnsafe
+}
+
+// dropAbortedRefsLocked clears conflict references whose counterpart
+// aborted: an aborted transaction's versions are rolled back and its reads
+// void, so its edges cannot participate in any MVSG cycle. Self-references
+// (which stand for "several counterparts") stay, conservatively. Only
+// meaningful with DetectorPrecise, where references name counterparts.
+func (m *Manager) dropAbortedRefsLocked(t *Txn) {
+	if m.detector != DetectorPrecise {
+		return
+	}
+	if t.in != nil && t.in != t && t.in.Aborted() {
+		t.in = nil
+	}
+	if t.out != nil && t.out != t && t.out.Aborted() {
+		t.out = nil
+	}
+}
+
+// commitTimeLocked returns the commit timestamp of a conflict reference, or
+// tsInfinity if it has not committed. Self-references of committed
+// transactions act as that transaction's own commit time, which makes the
+// Figure 3.9/3.10 comparisons conservative exactly as the thesis prescribes.
+func commitTimeLocked(t *Txn) TS {
+	if ct := t.CommitTS(); ct != 0 {
+		return ct
+	}
+	return tsInfinity
+}
+
+// PivotUnsafe reports whether t currently has both an incoming and an
+// outgoing rw-edge forming a potentially dangerous structure, under the
+// configured detector. It is the test applied at commit (Figures 3.2/3.10)
+// and, with the abort-early optimisation of §3.7.1, at the start of every
+// operation.
+func (m *Manager) PivotUnsafe(t *Txn) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.pivotUnsafeLocked(t)
+}
+
+func (m *Manager) pivotUnsafeLocked(t *Txn) bool {
+	m.dropAbortedRefsLocked(t)
+	if t.in == nil || t.out == nil {
+		return false
+	}
+	if m.detector == DetectorBasic {
+		return true
+	}
+	// Figure 3.10: abort only if the outgoing side committed no later than
+	// the incoming side, i.e. Tout may have been first to commit in the
+	// cycle. A self-reference on the outgoing side means "several partners,
+	// at least one possibly committed first": treat as earliest possible.
+	// A self-reference on the incoming side is likewise conservative
+	// (latest possible).
+	outCT := TS(0)
+	if t.out != t {
+		outCT = commitTimeLocked(t.out)
+	}
+	inCT := tsInfinity
+	if t.in != t {
+		inCT = commitTimeLocked(t.in)
+	}
+	return outCT <= inCT
+}
+
+// AbortEarly implements §3.7.1: called at the start of each operation of t,
+// it aborts t (returning ErrUnsafe) if t has already become an unsafe pivot.
+// It also surfaces aborts decided elsewhere and guards finished transactions.
+func (m *Manager) AbortEarly(t *Txn) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch t.Status() {
+	case StatusAborted:
+		return ErrUnsafe
+	case StatusCommitted:
+		return ErrTxnDone
+	}
+	if t.iso.TracksConflicts() && m.pivotUnsafeLocked(t) {
+		t.status.Store(int32(StatusAborted))
+		delete(m.active, t)
+		return ErrUnsafe
+	}
+	return nil
+}
+
+// CommitPrepare performs the atomic commit-time section of Figures 3.2 and
+// 3.10: it re-checks the dangerous-structure condition, and if safe assigns
+// the commit timestamp and atomically marks the transaction committed, so
+// that from this instant conflict checks treat it as committed and its
+// versions become visible to later snapshots. The caller is responsible for
+// log flushing, lock release and Finish afterwards.
+func (m *Manager) CommitPrepare(t *Txn) (TS, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch t.Status() {
+	case StatusAborted:
+		return 0, ErrUnsafe
+	case StatusCommitted:
+		return 0, ErrTxnDone
+	}
+	if t.iso.TracksConflicts() && m.pivotUnsafeLocked(t) {
+		t.status.Store(int32(StatusAborted))
+		delete(m.active, t)
+		return 0, ErrUnsafe
+	}
+	m.clock++
+	ct := m.clock
+	t.commitTS.Store(ct)
+	t.status.Store(int32(StatusCommitted))
+	if m.detector == DetectorPrecise {
+		// Figure 3.10 lines 9-12: replace references to already-committed
+		// transactions with self-references so a suspended transaction only
+		// ever references transactions with an equal or later commit.
+		if t.in != nil && t.in.Committed() {
+			t.in = t
+		}
+		if t.out != nil && t.out.Committed() {
+			t.out = t
+		}
+	}
+	return ct, nil
+}
+
+// Finish retires a committed transaction from the active set. If keep is
+// true (it still holds SIREAD locks, or has a detected outgoing conflict —
+// the §3.7.3 note) the record is suspended for later conflict detection;
+// otherwise it is dropped immediately. Finish returns the suspended
+// transactions that have become obsolete — committed before every remaining
+// active transaction began — so the caller can release their SIREAD locks
+// (eager cleanup, thesis §4.6.1).
+func (m *Manager) Finish(t *Txn, keep bool) (cleaned []*Txn) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.active, t)
+	if keep {
+		t.suspended = true
+		m.suspended = append(m.suspended, t)
+	}
+	return m.sweepLocked()
+}
+
+// Abort marks t aborted and removes it from the active set. Rollback and
+// lock release are the caller's responsibility. Aborted transactions are
+// never suspended: their conflicts are void. Returns suspended transactions
+// that became obsolete.
+func (m *Manager) Abort(t *Txn) (cleaned []*Txn) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if t.Status() == StatusActive {
+		t.status.Store(int32(StatusAborted))
+	}
+	delete(m.active, t)
+	return m.sweepLocked()
+}
+
+// sweepLocked removes and returns suspended transactions whose commit
+// precedes the begin of every active transaction. The suspended list is in
+// commit order, so obsolete entries form a prefix.
+func (m *Manager) sweepLocked() []*Txn {
+	if len(m.suspended) == 0 {
+		return nil
+	}
+	horizon := m.oldestActiveBeginLocked()
+	n := 0
+	for n < len(m.suspended) && m.suspended[n].CommitTS() < horizon {
+		m.suspended[n].suspended = false
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	cleaned := make([]*Txn, n)
+	copy(cleaned, m.suspended[:n])
+	m.suspended = append(m.suspended[:0], m.suspended[n:]...)
+	return cleaned
+}
+
+// oldestActiveBeginLocked returns the earliest snapshot among active
+// transactions, or infinity if none constrains cleanup. Transactions without
+// a snapshot will receive one later than any timestamp issued so far, so
+// they do not constrain the horizon.
+func (m *Manager) oldestActiveBeginLocked() TS {
+	min := tsInfinity
+	for t := range m.active {
+		if ts := t.Snapshot(); ts != 0 && ts < min {
+			min = ts
+		}
+	}
+	return min
+}
+
+// OldestActiveSnapshot is the exported pruning horizon: versions committed
+// before it and superseded by another version committed before it can never
+// be read again. Used by the MVCC store's garbage pruning.
+func (m *Manager) OldestActiveSnapshot() TS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.oldestActiveBeginLocked()
+}
+
+// Stats is a point-in-time census of the Manager, used by tests and the
+// benchmark harness to verify that suspension bookkeeping does not leak.
+type Stats struct {
+	Active    int
+	Suspended int
+	Clock     TS
+}
+
+// StatsSnapshot returns current counters.
+func (m *Manager) StatsSnapshot() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{Active: len(m.active), Suspended: len(m.suspended), Clock: m.clock}
+}
+
+// Suspended reports whether t is currently kept in the suspended set.
+func (m *Manager) Suspended(t *Txn) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return t.suspended
+}
+
+// HasInConflict and HasOutConflict expose the conflict flags for tests.
+func (m *Manager) HasInConflict(t *Txn) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return t.in != nil
+}
+
+// HasOutConflict reports whether an outgoing rw-edge has been recorded on t.
+func (m *Manager) HasOutConflict(t *Txn) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return t.out != nil
+}

@@ -1,0 +1,172 @@
+// Package figures catalogues every figure of the paper's evaluation chapter
+// as a runnable harness.Figure: workload, parameters, isolation levels and
+// the qualitative result the paper reports. cmd/ssibench sweeps them over
+// the full MPL axis; bench_test.go runs reduced spot checks.
+package figures
+
+import (
+	"fmt"
+	"time"
+
+	"ssi/internal/harness"
+	"ssi/internal/workload/sibench"
+	"ssi/internal/workload/smallbank"
+	"ssi/internal/workload/tpcc"
+	"ssi/ssidb"
+)
+
+// Scale tunes data volumes relative to the paper, so the same catalogue
+// serves quick CI runs and full reproductions.
+type Scale struct {
+	// SmallBankFlush is the simulated log flush latency for the "log
+	// flushed on commit" SmallBank figures (the paper's disk gave ~10ms).
+	SmallBankFlush time.Duration
+	// TPCCWarehouses overrides the warehouse count for the W=10 figures
+	// (0 keeps the paper's 10).
+	TPCCWarehouses int
+	// TPCCInitialOrders is the number of preloaded orders per district
+	// (the TPC-C spec says 3000).
+	TPCCInitialOrders int
+}
+
+// QuickScale finishes in minutes on a laptop.
+func QuickScale() Scale {
+	return Scale{SmallBankFlush: 500 * time.Microsecond, TPCCWarehouses: 2, TPCCInitialOrders: 100}
+}
+
+// PaperScale follows the thesis parameters.
+func PaperScale() Scale {
+	return Scale{SmallBankFlush: 2 * time.Millisecond, TPCCWarehouses: 10, TPCCInitialOrders: 3000}
+}
+
+// MPLs is the paper's multiprogramming-level axis.
+var MPLs = []int{1, 2, 3, 5, 10, 20, 50}
+
+func smallbankFigure(id, title, paper string, cfg smallbank.Config, flush time.Duration) harness.Figure {
+	return harness.Figure{
+		ID: id, Title: title, PaperResult: paper,
+		Isolations: harness.DefaultIsolations(),
+		MPLs:       MPLs,
+		Build: func(iso ssidb.Isolation) (harness.TxnFunc, func()) {
+			db := ssidb.Open(ssidb.Options{
+				Granularity:  ssidb.GranularityPage,
+				PageMaxKeys:  10,
+				FlushLatency: flush,
+				Detector:     ssidb.DetectorBasic,
+			})
+			if err := smallbank.Load(db, cfg); err != nil {
+				panic(fmt.Sprintf("load %s: %v", id, err))
+			}
+			return smallbank.Worker(db, iso, cfg), nil
+		},
+	}
+}
+
+func sibenchFigure(id, title, paper string, cfg sibench.Config) harness.Figure {
+	return harness.Figure{
+		ID: id, Title: title, PaperResult: paper,
+		Isolations: harness.DefaultIsolations(),
+		MPLs:       MPLs,
+		Build: func(iso ssidb.Isolation) (harness.TxnFunc, func()) {
+			db := ssidb.Open(ssidb.Options{Detector: ssidb.DetectorPrecise})
+			if err := sibench.Load(db, cfg); err != nil {
+				panic(fmt.Sprintf("load %s: %v", id, err))
+			}
+			return sibench.Worker(db, iso, cfg), nil
+		},
+	}
+}
+
+func tpccFigure(id, title, paper string, cfg tpcc.Config) harness.Figure {
+	return harness.Figure{
+		ID: id, Title: title, PaperResult: paper,
+		Isolations: harness.DefaultIsolations(),
+		MPLs:       MPLs,
+		Build: func(iso ssidb.Isolation) (harness.TxnFunc, func()) {
+			db := ssidb.Open(ssidb.Options{Detector: ssidb.DetectorPrecise})
+			if err := tpcc.Load(db, cfg); err != nil {
+				panic(fmt.Sprintf("load %s: %v", id, err))
+			}
+			return tpcc.Worker(db, iso, cfg), nil
+		},
+	}
+}
+
+// All returns the full catalogue at the given scale, keyed "6.1".."6.18".
+func All(s Scale) []harness.Figure {
+	sb := smallbank.DefaultConfig()
+	sbLow := sb
+	sbLow.Accounts = 10000
+	sbComplex := sb
+	sbComplex.OpsPerTxn = 10
+	sbComplexLow := sbLow
+	sbComplexLow.OpsPerTxn = 10
+
+	w := s.TPCCWarehouses
+	if w <= 0 {
+		w = 10
+	}
+	tp := func(warehouses int, tiny, skipYTD, stockMix bool) tpcc.Config {
+		cfg := tpcc.DefaultConfig()
+		cfg.Warehouses = warehouses
+		cfg.Tiny = tiny
+		cfg.SkipYTD = skipYTD
+		cfg.StockLevelMix = stockMix
+		cfg.InitialOrders = s.TPCCInitialOrders
+		return cfg
+	}
+
+	return []harness.Figure{
+		smallbankFigure("6.1", "SmallBank, page locking, no log flush, high contention",
+			"SSI ≈ SI, both far above S2PL (10x at MPL 20); unsafe errors dominate SSI aborts", sb, 0),
+		smallbankFigure("6.2", "SmallBank, log flushed on commit",
+			"throughput climbs with MPL (group commit); S2PL falls behind from deadlock stalls", sb, s.SmallBankFlush),
+		smallbankFigure("6.3", "SmallBank, flush, 10 ops per transaction",
+			"same shape as 6.2: the workload stays I/O-bound", sbComplex, s.SmallBankFlush),
+		smallbankFigure("6.4", "SmallBank, flush, 10x data (low contention)",
+			"SI ≈ S2PL; SSI pays 10-15% from page-level false positives", sbLow, s.SmallBankFlush),
+		smallbankFigure("6.5", "SmallBank, flush, complex + low contention",
+			"like 6.3 with smaller gaps", sbComplexLow, s.SmallBankFlush),
+		sibenchFigure("6.6", "sibench, 10 items, 1 query per update",
+			"SI ahead; SSI pays lock-manager overhead; S2PL worst under contention",
+			sibench.Config{Items: 10, QueriesPerUpdate: 1}),
+		sibenchFigure("6.7", "sibench, 100 items, 1 query per update",
+			"gap between SI and SSI narrows; S2PL limited by read-write blocking",
+			sibench.Config{Items: 100, QueriesPerUpdate: 1}),
+		sibenchFigure("6.8", "sibench, 1000 items, 1 query per update",
+			"scan CPU dominates; SSI between SI and S2PL",
+			sibench.Config{Items: 1000, QueriesPerUpdate: 1}),
+		sibenchFigure("6.9", "sibench, 10 items, 10 queries per update",
+			"query-mostly: levels closer; S2PL still trails at high MPL",
+			sibench.Config{Items: 10, QueriesPerUpdate: 10}),
+		sibenchFigure("6.10", "sibench, 100 items, 10 queries per update",
+			"as 6.9", sibench.Config{Items: 100, QueriesPerUpdate: 10}),
+		sibenchFigure("6.11", "sibench, 1000 items, 10 queries per update",
+			"as 6.9 with scan CPU dominating", sibench.Config{Items: 1000, QueriesPerUpdate: 10}),
+		tpccFigure("6.12", "TPC-C++, W=1, skip year-to-date updates",
+			"SSI within ~10% of SI; S2PL behind once contention bites", tp(1, false, true, false)),
+		tpccFigure("6.13", "TPC-C++, W=10, full updates",
+			"w_ytd hotspot serialises Payments; levels compressed", tp(w, false, false, false)),
+		tpccFigure("6.14", "TPC-C++, W=10, skip year-to-date updates",
+			"hotspot removed: SI and SSI pull ahead of S2PL", tp(w, false, true, false)),
+		tpccFigure("6.15", "TPC-C++, W=10, tiny scaling (high contention)",
+			"SSI tracks SI; S2PL suffers read-write blocking", tp(w, true, false, false)),
+		tpccFigure("6.16", "TPC-C++, tiny scaling, skip year-to-date updates",
+			"largest SI/SSI lead over S2PL among the standard mixes", tp(w, true, true, false)),
+		tpccFigure("6.17", "TPC-C++ Stock Level mix, W=10",
+			"multiversion levels beat S2PL decisively: long scans block New Orders under locking",
+			tp(w, false, false, true)),
+		tpccFigure("6.18", "TPC-C++ Stock Level mix, tiny scaling",
+			"as 6.17, amplified by contention", tp(w, true, false, true)),
+	}
+}
+
+// ByID returns the figure with the given id (e.g. "6.12").
+func ByID(s Scale, id string) (harness.Figure, bool) {
+	for _, f := range All(s) {
+		if f.ID == id {
+			return f, true
+		}
+	}
+	return harness.Figure{}, false
+}

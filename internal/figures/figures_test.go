@@ -1,0 +1,76 @@
+package figures
+
+import (
+	"math/rand"
+	"testing"
+
+	"ssi/ssidb"
+)
+
+func TestCatalogueComplete(t *testing.T) {
+	all := All(QuickScale())
+	if len(all) != 18 {
+		t.Fatalf("catalogue has %d figures, the paper has 18 (6.1-6.18)", len(all))
+	}
+	seen := map[string]bool{}
+	for _, f := range all {
+		if seen[f.ID] {
+			t.Fatalf("duplicate figure %s", f.ID)
+		}
+		seen[f.ID] = true
+		if f.Title == "" || f.PaperResult == "" {
+			t.Fatalf("figure %s missing title or paper result", f.ID)
+		}
+		if len(f.Isolations) != 3 || len(f.MPLs) == 0 {
+			t.Fatalf("figure %s axes wrong", f.ID)
+		}
+	}
+	for i := 1; i <= 18; i++ {
+		id := "6." + itoa(i)
+		if !seen[id] {
+			t.Fatalf("figure %s missing", id)
+		}
+	}
+	if _, ok := ByID(QuickScale(), "6.12"); !ok {
+		t.Fatal("ByID failed")
+	}
+	if _, ok := ByID(QuickScale(), "9.99"); ok {
+		t.Fatal("ByID accepted unknown id")
+	}
+}
+
+func itoa(i int) string {
+	if i < 10 {
+		return string(rune('0' + i))
+	}
+	return "1" + string(rune('0'+i-10))
+}
+
+// TestEveryFigureExecutes builds each figure's cheapest workload once and
+// runs a couple of transactions — guarding against bit-rot in the
+// catalogue's configurations without paying full sweep costs. The TPC-C
+// figures dominate load time, so this trims their scale via QuickScale.
+func TestEveryFigureExecutes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads every benchmark dataset")
+	}
+	s := QuickScale()
+	s.TPCCWarehouses = 1
+	s.TPCCInitialOrders = 10
+	for _, f := range All(s) {
+		fn, teardown := f.Build(ssidb.SerializableSI)
+		r := rand.New(rand.NewSource(1))
+		committed := 0
+		for i := 0; i < 20; i++ {
+			if err := fn(r); err == nil {
+				committed++
+			}
+		}
+		if committed == 0 {
+			t.Fatalf("figure %s: no transaction committed", f.ID)
+		}
+		if teardown != nil {
+			teardown()
+		}
+	}
+}

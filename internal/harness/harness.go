@@ -1,0 +1,314 @@
+// Package harness drives the performance experiments of thesis Chapter 6:
+// it runs a workload at a given multiprogramming level (MPL) for a fixed
+// duration, measures committed transactions per second, and breaks aborts
+// down into the classes the paper plots — deadlocks, First-Committer-Wins
+// update conflicts, and Serializable SI "unsafe" errors (Figure 6.1(b) and
+// friends). Sweeps over MPL × isolation level produce the series behind each
+// figure, with 95% confidence intervals over repeated trials.
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ssi/ssidb"
+)
+
+// TxnFunc executes one application transaction (including commit) and
+// returns its outcome. The supplied rand is private to the calling worker.
+type TxnFunc func(r *rand.Rand) error
+
+// Counts is the per-class outcome tally of one run.
+type Counts struct {
+	Commits   uint64
+	Deadlocks uint64 // lock-wait cycles (mostly S2PL)
+	Conflicts uint64 // First-Committer-Wins update conflicts
+	Unsafe    uint64 // Serializable SI dangerous-structure aborts
+	Rollbacks uint64 // application-initiated aborts (e.g. TPC-C's 1%)
+	Other     uint64
+}
+
+func (c *Counts) add(err error) {
+	switch {
+	case err == nil:
+		atomic.AddUint64(&c.Commits, 1)
+	case errors.Is(err, ssidb.ErrDeadlock):
+		atomic.AddUint64(&c.Deadlocks, 1)
+	case errors.Is(err, ssidb.ErrWriteConflict):
+		atomic.AddUint64(&c.Conflicts, 1)
+	case errors.Is(err, ssidb.ErrUnsafe):
+		atomic.AddUint64(&c.Unsafe, 1)
+	case errors.Is(err, ErrRollback):
+		atomic.AddUint64(&c.Rollbacks, 1)
+	default:
+		atomic.AddUint64(&c.Other, 1)
+	}
+}
+
+// Aborts is the total number of aborted transactions of all classes.
+func (c Counts) Aborts() uint64 {
+	return c.Deadlocks + c.Conflicts + c.Unsafe + c.Rollbacks + c.Other
+}
+
+// ErrRollback marks an application-initiated rollback (counted separately
+// from concurrency-control aborts, like TPC-C's intentional 1%).
+var ErrRollback = errors.New("harness: application rollback")
+
+// Result is one measured cell: a workload at one isolation level and MPL.
+type Result struct {
+	Isolation ssidb.Isolation
+	MPL       int
+	Elapsed   time.Duration
+	Counts
+	// TPS is committed transactions per second.
+	TPS float64
+	// TPSCI95 is the half-width of the 95% confidence interval over trials
+	// (0 with a single trial).
+	TPSCI95 float64
+}
+
+// ErrRate returns aborts of the given class per committed transaction.
+func (r Result) ErrRate(class string) float64 {
+	if r.Commits == 0 {
+		return 0
+	}
+	var n uint64
+	switch class {
+	case "deadlock":
+		n = r.Deadlocks
+	case "conflict":
+		n = r.Conflicts
+	case "unsafe":
+		n = r.Unsafe
+	case "rollback":
+		n = r.Rollbacks
+	default:
+		n = r.Other
+	}
+	return float64(n) / float64(r.Commits)
+}
+
+// Options configures a measurement.
+type Options struct {
+	MPL      int
+	Duration time.Duration
+	Warmup   time.Duration
+	Trials   int // default 1
+	Seed     int64
+}
+
+// Run measures fn at the configured MPL. Each of the MPL workers loops,
+// executing transactions back-to-back with no think time, exactly as the
+// paper's db_perf setup (§6.1). Aborted transactions are counted and the
+// worker moves on (the retry, if any, is the workload's next iteration).
+func Run(fn TxnFunc, opts Options) Result {
+	if opts.MPL <= 0 {
+		opts.MPL = 1
+	}
+	if opts.Trials <= 0 {
+		opts.Trials = 1
+	}
+	var tpsSamples []float64
+	total := Result{MPL: opts.MPL}
+	for trial := 0; trial < opts.Trials; trial++ {
+		counts, elapsed := runOnce(fn, opts, int64(trial))
+		tps := float64(counts.Commits) / elapsed.Seconds()
+		tpsSamples = append(tpsSamples, tps)
+		total.Commits += counts.Commits
+		total.Deadlocks += counts.Deadlocks
+		total.Conflicts += counts.Conflicts
+		total.Unsafe += counts.Unsafe
+		total.Rollbacks += counts.Rollbacks
+		total.Other += counts.Other
+		total.Elapsed += elapsed
+	}
+	total.TPS = mean(tpsSamples)
+	total.TPSCI95 = ci95(tpsSamples)
+	return total
+}
+
+func runOnce(fn TxnFunc, opts Options, trial int64) (Counts, time.Duration) {
+	var counts Counts
+	var measuring atomic.Bool
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	measuring.Store(opts.Warmup == 0)
+	for w := 0; w < opts.MPL; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(opts.Seed + trial*1000003 + int64(w)*7919 + 1))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				err := fn(r)
+				if measuring.Load() {
+					counts.add(err)
+				}
+			}
+		}(w)
+	}
+	if opts.Warmup > 0 {
+		time.Sleep(opts.Warmup)
+		measuring.Store(true)
+	}
+	start := time.Now()
+	time.Sleep(opts.Duration)
+	elapsed := time.Since(start)
+	close(stop)
+	wg.Wait()
+	return counts, elapsed
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// ci95 returns the half-width of a 95% confidence interval assuming
+// normally distributed samples, as the paper's graphs do (§6.1.1).
+func ci95(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		ss += (x - m) * (x - m)
+	}
+	sd := math.Sqrt(ss / float64(n-1))
+	return 1.96 * sd / math.Sqrt(float64(n))
+}
+
+// Figure describes one paper figure: a workload measured across isolation
+// levels and MPLs. Build must return a fresh TxnFunc bound to a database
+// loaded for the given isolation level; it is called once per isolation.
+type Figure struct {
+	ID          string
+	Title       string
+	Isolations  []ssidb.Isolation
+	MPLs        []int
+	Build       func(iso ssidb.Isolation) (TxnFunc, func())
+	PaperResult string // the qualitative shape the paper reports
+}
+
+// DefaultIsolations is the paper's standard comparison set.
+func DefaultIsolations() []ssidb.Isolation {
+	return []ssidb.Isolation{ssidb.SnapshotIsolation, ssidb.SerializableSI, ssidb.S2PL}
+}
+
+// RunFigure sweeps the figure and returns results indexed [isolation][mpl].
+func RunFigure(f Figure, opts Options) map[ssidb.Isolation][]Result {
+	out := make(map[ssidb.Isolation][]Result)
+	for _, iso := range f.Isolations {
+		fn, teardown := f.Build(iso)
+		for _, mpl := range f.MPLs {
+			o := opts
+			o.MPL = mpl
+			res := Run(fn, o)
+			res.Isolation = iso
+			out[iso] = append(out[iso], res)
+		}
+		if teardown != nil {
+			teardown()
+		}
+	}
+	return out
+}
+
+// PrintFigure renders the sweep as the paper-style table: throughput per
+// isolation level by MPL, followed by the abort breakdown.
+func PrintFigure(w io.Writer, f Figure, results map[ssidb.Isolation][]Result) {
+	fmt.Fprintf(w, "== Figure %s: %s ==\n", f.ID, f.Title)
+	if f.PaperResult != "" {
+		fmt.Fprintf(w, "   paper: %s\n", f.PaperResult)
+	}
+	isos := append([]ssidb.Isolation(nil), f.Isolations...)
+	sort.Slice(isos, func(i, j int) bool { return isos[i] < isos[j] })
+
+	fmt.Fprintf(w, "%-6s", "MPL")
+	for _, iso := range isos {
+		fmt.Fprintf(w, "%14s", iso.String()+" tps")
+	}
+	fmt.Fprintln(w)
+	for i, mpl := range f.MPLs {
+		fmt.Fprintf(w, "%-6d", mpl)
+		for _, iso := range isos {
+			r := results[iso][i]
+			cell := fmt.Sprintf("%.0f", r.TPS)
+			if r.TPSCI95 > 0 {
+				cell += fmt.Sprintf("±%.0f", r.TPSCI95)
+			}
+			fmt.Fprintf(w, "%14s", cell)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-6s", "errors")
+	for range isos {
+		fmt.Fprintf(w, "%14s", "dl/cf/us per C")
+	}
+	fmt.Fprintln(w)
+	for i, mpl := range f.MPLs {
+		fmt.Fprintf(w, "%-6d", mpl)
+		for _, iso := range isos {
+			r := results[iso][i]
+			fmt.Fprintf(w, "%14s", fmt.Sprintf("%s/%s/%s",
+				pct(r.ErrRate("deadlock")), pct(r.ErrRate("conflict")), pct(r.ErrRate("unsafe"))))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+func pct(x float64) string {
+	switch {
+	case x == 0:
+		return "0"
+	case x < 0.0095:
+		return fmt.Sprintf("%.1f%%", x*100)
+	default:
+		return fmt.Sprintf("%.0f%%", x*100)
+	}
+}
+
+// CSV writes the sweep in machine-readable form.
+func CSV(w io.Writer, f Figure, results map[ssidb.Isolation][]Result) {
+	fmt.Fprintf(w, "figure,isolation,mpl,tps,ci95,commits,deadlocks,conflicts,unsafe,rollbacks,other\n")
+	for _, iso := range f.Isolations {
+		for i, mpl := range f.MPLs {
+			r := results[iso][i]
+			fmt.Fprintf(w, "%s,%s,%d,%.1f,%.1f,%d,%d,%d,%d,%d,%d\n",
+				f.ID, iso, mpl, r.TPS, r.TPSCI95, r.Commits, r.Deadlocks, r.Conflicts, r.Unsafe, r.Rollbacks, r.Other)
+		}
+	}
+}
+
+// Describe summarises one result line for logs.
+func Describe(r Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s mpl=%d tps=%.0f commits=%d", r.Isolation, r.MPL, r.TPS, r.Commits)
+	if a := r.Aborts(); a > 0 {
+		fmt.Fprintf(&b, " aborts[dl=%d cf=%d us=%d rb=%d other=%d]",
+			r.Deadlocks, r.Conflicts, r.Unsafe, r.Rollbacks, r.Other)
+	}
+	return b.String()
+}

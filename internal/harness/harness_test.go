@@ -1,0 +1,146 @@
+package harness
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"ssi/ssidb"
+)
+
+func TestCountsClassification(t *testing.T) {
+	var c Counts
+	c.add(nil)
+	c.add(ssidb.ErrDeadlock)
+	c.add(ssidb.ErrWriteConflict)
+	c.add(ssidb.ErrUnsafe)
+	c.add(ErrRollback)
+	c.add(errors.New("something else"))
+	if c.Commits != 1 || c.Deadlocks != 1 || c.Conflicts != 1 || c.Unsafe != 1 || c.Rollbacks != 1 || c.Other != 1 {
+		t.Fatalf("classification wrong: %+v", c)
+	}
+	if c.Aborts() != 5 {
+		t.Fatalf("Aborts = %d", c.Aborts())
+	}
+	// Wrapped errors classify by errors.Is.
+	var c2 Counts
+	c2.add(errors.Join(errors.New("ctx"), ssidb.ErrUnsafe))
+	if c2.Unsafe != 1 {
+		t.Fatalf("wrapped unsafe not classified: %+v", c2)
+	}
+}
+
+func TestRunCountsCommitsAndErrors(t *testing.T) {
+	n := 0
+	fn := func(r *rand.Rand) error {
+		n++
+		if n%5 == 0 {
+			return ssidb.ErrWriteConflict
+		}
+		return nil
+	}
+	res := Run(fn, Options{MPL: 1, Duration: 30 * time.Millisecond})
+	if res.Commits == 0 || res.Conflicts == 0 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.TPS <= 0 {
+		t.Fatalf("TPS = %v", res.TPS)
+	}
+	ratio := float64(res.Conflicts) / float64(res.Commits)
+	if ratio < 0.15 || ratio > 0.40 { // expect ~1/4
+		t.Fatalf("conflict ratio %.2f, want ~0.25", ratio)
+	}
+	if got := res.ErrRate("conflict"); math.Abs(got-ratio) > 1e-9 {
+		t.Fatalf("ErrRate = %v, want %v", got, ratio)
+	}
+}
+
+func TestRunUsesAllWorkers(t *testing.T) {
+	seen := make(chan int64, 1024)
+	fn := func(r *rand.Rand) error {
+		select {
+		case seen <- r.Int63():
+		default:
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	}
+	Run(fn, Options{MPL: 8, Duration: 50 * time.Millisecond})
+	close(seen)
+	distinct := map[int64]bool{}
+	for v := range seen {
+		distinct[v] = true
+	}
+	// Each worker has its own seeded stream; with 8 workers we expect many
+	// distinct first draws.
+	if len(distinct) < 4 {
+		t.Fatalf("only %d distinct streams; MPL not applied?", len(distinct))
+	}
+}
+
+func TestWarmupExcluded(t *testing.T) {
+	var total int
+	fn := func(r *rand.Rand) error {
+		total++
+		time.Sleep(100 * time.Microsecond)
+		return nil
+	}
+	res := Run(fn, Options{MPL: 1, Duration: 30 * time.Millisecond, Warmup: 30 * time.Millisecond})
+	if res.Commits >= uint64(total) {
+		t.Fatalf("warmup iterations counted: commits=%d total=%d", res.Commits, total)
+	}
+}
+
+func TestTrialsProduceConfidenceInterval(t *testing.T) {
+	fn := func(r *rand.Rand) error { return nil }
+	res := Run(fn, Options{MPL: 2, Duration: 10 * time.Millisecond, Trials: 3})
+	if res.TPSCI95 < 0 {
+		t.Fatalf("negative CI: %v", res.TPSCI95)
+	}
+	if res.Elapsed < 30*time.Millisecond {
+		t.Fatalf("elapsed %v, want >= 3 trials' worth", res.Elapsed)
+	}
+}
+
+func TestCI95(t *testing.T) {
+	if ci95([]float64{5}) != 0 {
+		t.Fatal("single sample must have zero CI")
+	}
+	c := ci95([]float64{10, 10, 10})
+	if c != 0 {
+		t.Fatalf("zero-variance CI = %v", c)
+	}
+	c = ci95([]float64{8, 10, 12})
+	if c <= 0 || c > 10 {
+		t.Fatalf("CI = %v", c)
+	}
+}
+
+func TestRunFigureShape(t *testing.T) {
+	builds := 0
+	f := Figure{
+		ID: "t", Title: "test",
+		Isolations: []ssidb.Isolation{ssidb.SnapshotIsolation, ssidb.S2PL},
+		MPLs:       []int{1, 2},
+		Build: func(iso ssidb.Isolation) (TxnFunc, func()) {
+			builds++
+			return func(r *rand.Rand) error { return nil }, nil
+		},
+	}
+	res := RunFigure(f, Options{Duration: 5 * time.Millisecond})
+	if builds != 2 {
+		t.Fatalf("Build called %d times, want once per isolation", builds)
+	}
+	for _, iso := range f.Isolations {
+		if len(res[iso]) != 2 {
+			t.Fatalf("results for %v: %d cells", iso, len(res[iso]))
+		}
+		for i, r := range res[iso] {
+			if r.MPL != f.MPLs[i] || r.Isolation != iso {
+				t.Fatalf("cell mismatch: %+v", r)
+			}
+		}
+	}
+}

@@ -1,0 +1,566 @@
+// Package lock implements the lock manager required by Serializable Snapshot
+// Isolation (thesis Chapter 3): the classical SHARED/EXCLUSIVE modes used by
+// S2PL and by SI's write locks, plus the paper's new SIREAD mode, which never
+// blocks and is never blocked but whose presence alongside an EXCLUSIVE lock
+// signals an rw-antidependency between the owners.
+//
+// Keys carry a kind so one manager serves row locks, next-key gap locks
+// (phantom prevention, thesis §2.5.2/§3.5) and page locks (the Berkeley DB
+// granularity of thesis Chapter 4).
+//
+// The manager detects deadlocks immediately with a waits-for graph search and
+// aborts the requester, implements shared→exclusive upgrades, and supports
+// the SIREAD→EXCLUSIVE upgrade optimisation of thesis §3.7.3 (dropping the
+// SIREAD lock once the same owner acquires EXCLUSIVE on the same key).
+//
+// SIREAD locks deliberately survive their owner's commit: the engine keeps
+// them until the suspended owner is cleaned up (thesis §3.3), releasing them
+// with ReleaseAll.
+package lock
+
+import (
+	"fmt"
+	"sync"
+
+	"ssi/internal/core"
+)
+
+// Mode is a lock mode. Modes are bit flags because one owner can hold
+// several modes on one key (e.g. SIREAD plus EXCLUSIVE when the upgrade
+// optimisation is disabled).
+type Mode uint8
+
+const (
+	// Shared is the classical read lock used by S2PL transactions.
+	Shared Mode = 1 << iota
+	// Exclusive is the write lock used by all isolation levels.
+	Exclusive
+	// SIRead records that an SI transaction read a version of the item. It
+	// neither blocks nor is blocked (thesis §3.2); it exists purely so that
+	// writers can detect read-write conflicts.
+	SIRead
+)
+
+// String returns a short human-readable mode name.
+func (m Mode) String() string {
+	switch m {
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "X"
+	case SIRead:
+		return "SIREAD"
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// Kind distinguishes the namespaces of lockable objects.
+type Kind uint8
+
+const (
+	// Row locks protect a single record (InnoDB-style granularity).
+	Row Kind = iota
+	// Gap locks protect the open interval just before a key against
+	// concurrent insertion or deletion, as in InnoDB's next-key locking.
+	// They live in a namespace separate from Row so that a gap lock on x
+	// never conflicts with a row lock on x (thesis §2.5.2).
+	Gap
+	// Page locks protect a whole B+tree page (Berkeley DB-style
+	// granularity, thesis Chapter 4).
+	Page
+	// GapSupremum is the gap after the largest key in a table — the
+	// "special supremum key" of thesis §2.5.2, protecting inserts beyond
+	// the current end of the key space.
+	GapSupremum
+)
+
+// String returns a short kind name.
+func (k Kind) String() string {
+	switch k {
+	case Row:
+		return "row"
+	case Gap:
+		return "gap"
+	case Page:
+		return "page"
+	case GapSupremum:
+		return "gap-supremum"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Key names one lockable object.
+type Key struct {
+	Table string
+	Kind  Kind
+	K     string
+}
+
+// String formats the key for diagnostics.
+func (k Key) String() string { return fmt.Sprintf("%s/%s/%q", k.Table, k.Kind, k.K) }
+
+// RowKey, GapKey and PageKey are convenience constructors.
+func RowKey(table string, key []byte) Key { return Key{Table: table, Kind: Row, K: string(key)} }
+
+// GapKey names the gap immediately before key in table's key order.
+func GapKey(table string, key []byte) Key { return Key{Table: table, Kind: Gap, K: string(key)} }
+
+// PageKey names a B+tree page by its page number.
+func PageKey(table string, page uint32) Key {
+	return Key{Table: table, Kind: Page, K: string([]byte{byte(page >> 24), byte(page >> 16), byte(page >> 8), byte(page)})}
+}
+
+// SupremumGapKey names the gap past the largest key in table.
+func SupremumGapKey(table string) Key { return Key{Table: table, Kind: GapSupremum} }
+
+// blocksOn reports whether a request for mode req must wait while another
+// owner holds the modes in held on an object of the given kind. SIREAD
+// neither blocks nor is blocked. On gaps, exclusive locks (taken by inserts
+// and deletes, InnoDB's "insert intention") are compatible with each other:
+// two inserts into the same gap do not conflict, only a predicate reader's
+// shared gap lock blocks them (thesis §2.5.2).
+func blocksOn(kind Kind, req Mode, held Mode) bool {
+	gap := kind == Gap || kind == GapSupremum
+	switch req {
+	case Exclusive:
+		if gap {
+			return held&Shared != 0
+		}
+		return held&(Shared|Exclusive) != 0
+	case Shared:
+		return held&Exclusive != 0
+	default: // SIRead
+		return false
+	}
+}
+
+// rivalOf reports whether holding held is a read-write conflict signal
+// against a request for req: SIREAD versus EXCLUSIVE in either direction
+// (thesis Figures 3.4 and 3.5).
+func rivalOf(req Mode, held Mode) bool {
+	switch req {
+	case Exclusive:
+		return held&SIRead != 0
+	case SIRead:
+		return held&Exclusive != 0
+	default:
+		return false
+	}
+}
+
+type entry struct {
+	holders map[*core.Txn]Mode
+	cond    *sync.Cond
+	waiters int
+	// Per-mode holder counts let hot entries (a B+tree root page can carry
+	// an SIREAD lock from every recent transaction) answer "any blocker?"
+	// and "any rival?" without iterating the holders map.
+	nShared, nExclusive, nSIRead int
+}
+
+// countModes adjusts the entry's mode counters for a holder transition.
+func (e *entry) countModes(before, after Mode) {
+	for _, m := range [...]Mode{Shared, Exclusive, SIRead} {
+		had, has := before&m != 0, after&m != 0
+		if had == has {
+			continue
+		}
+		d := 1
+		if had {
+			d = -1
+		}
+		switch m {
+		case Shared:
+			e.nShared += d
+		case Exclusive:
+			e.nExclusive += d
+		case SIRead:
+			e.nSIRead += d
+		}
+	}
+}
+
+// Manager is a lock table. The zero value is not usable; call NewManager.
+type Manager struct {
+	// UpgradeSIRead enables the §3.7.3 optimisation: when an owner acquires
+	// an EXCLUSIVE lock on a key it holds an SIREAD lock on, the SIREAD
+	// lock is discarded — the new version it will write detects conflicts
+	// instead, so fewer locks outlive the transaction.
+	upgradeSIRead bool
+
+	mu     sync.Mutex
+	table  map[Key]*entry
+	owned  map[*core.Txn]map[Key]Mode
+	sireds map[*core.Txn]int                // count of keys with SIRead held
+	waits  map[*core.Txn]map[*core.Txn]bool // waits-for edges for deadlock detection
+}
+
+// NewManager returns an empty lock table. upgradeSIRead enables the
+// SIREAD→EXCLUSIVE upgrade optimisation of thesis §3.7.3.
+func NewManager(upgradeSIRead bool) *Manager {
+	return &Manager{
+		upgradeSIRead: upgradeSIRead,
+		table:         make(map[Key]*entry),
+		owned:         make(map[*core.Txn]map[Key]Mode),
+		sireds:        make(map[*core.Txn]int),
+		waits:         make(map[*core.Txn]map[*core.Txn]bool),
+	}
+}
+
+// Acquire obtains a lock of the given mode on key for owner, blocking while
+// incompatible locks are held by others. It returns the set of current
+// holders whose locks signal a read-write conflict with this request (SIREAD
+// holders for an EXCLUSIVE request, EXCLUSIVE holders for an SIREAD
+// request), captured atomically with the grant; the caller is responsible
+// for overlap filtering and conflict marking. Acquire fails with
+// core.ErrDeadlock if waiting would close a cycle in the waits-for graph.
+//
+// Re-acquiring a held mode is a no-op. An owner holding Shared that requests
+// Exclusive upgrades in place once other holders drain.
+func (m *Manager) Acquire(owner *core.Txn, key Key, mode Mode) (rivals []*core.Txn, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	e := m.table[key]
+	if e == nil {
+		e = &entry{holders: make(map[*core.Txn]Mode)}
+		e.cond = sync.NewCond(&m.mu)
+		m.table[key] = e
+	}
+
+	if e.holders[owner]&mode == mode {
+		return m.rivalsLocked(e, owner, mode), nil // already held
+	}
+	if mode == SIRead && e.holders[owner]&Exclusive != 0 && m.upgradeable(key) {
+		// Already upgraded: the exclusive lock subsumes the read lock's
+		// conflict-detection role (our new version is the signal).
+		return nil, nil
+	}
+
+	for {
+		blockers := m.blockersLocked(e, owner, key, mode)
+		if len(blockers) == 0 {
+			break
+		}
+		// Record the wait and look for a deadlock cycle through us.
+		edges := make(map[*core.Txn]bool, len(blockers))
+		for _, b := range blockers {
+			edges[b] = true
+		}
+		m.waits[owner] = edges
+		if m.cycleLocked(owner) {
+			delete(m.waits, owner)
+			return nil, core.ErrDeadlock
+		}
+		e.waiters++
+		e.cond.Wait()
+		e.waiters--
+	}
+	delete(m.waits, owner)
+
+	rivals = m.rivalsLocked(e, owner, mode)
+	m.grantLocked(e, owner, key, mode)
+	return rivals, nil
+}
+
+// blockersLocked returns the other owners whose held modes block a request.
+func (m *Manager) blockersLocked(e *entry, owner *core.Txn, key Key, mode Mode) []*core.Txn {
+	if mode == SIRead {
+		return nil // SIREAD never blocks
+	}
+	// Skip the holder iteration when the counters say nothing can block.
+	own := e.holders[owner]
+	gap := key.Kind == Gap || key.Kind == GapSupremum
+	switch mode {
+	case Exclusive:
+		others := e.nShared
+		if own&Shared != 0 {
+			others--
+		}
+		if !gap {
+			x := e.nExclusive
+			if own&Exclusive != 0 {
+				x--
+			}
+			others += x
+		}
+		if others == 0 {
+			return nil
+		}
+	case Shared:
+		x := e.nExclusive
+		if own&Exclusive != 0 {
+			x--
+		}
+		if x == 0 {
+			return nil
+		}
+	}
+	var out []*core.Txn
+	for h, held := range e.holders {
+		if h == owner {
+			continue
+		}
+		if blocksOn(key.Kind, mode, held) {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// rivalsLocked returns the other owners whose held modes signal a read-write
+// conflict with a request.
+func (m *Manager) rivalsLocked(e *entry, owner *core.Txn, mode Mode) []*core.Txn {
+	own := e.holders[owner]
+	switch mode {
+	case Exclusive:
+		n := e.nSIRead
+		if own&SIRead != 0 {
+			n--
+		}
+		if n == 0 {
+			return nil
+		}
+	case SIRead:
+		n := e.nExclusive
+		if own&Exclusive != 0 {
+			n--
+		}
+		if n == 0 {
+			return nil
+		}
+	default:
+		return nil
+	}
+	var out []*core.Txn
+	for h, held := range e.holders {
+		if h == owner {
+			continue
+		}
+		if rivalOf(mode, held) {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// upgradeable reports whether the §3.7.3 SIREAD→EXCLUSIVE upgrade applies to
+// key. It is sound only for versioned objects (rows, pages), where the new
+// version the writer creates takes over conflict detection. A gap has no
+// version: dropping a gap SIREAD when its owner inserts into its own scanned
+// range would blind phantom detection against later inserts by others.
+func (m *Manager) upgradeable(key Key) bool {
+	return m.upgradeSIRead && (key.Kind == Row || key.Kind == Page)
+}
+
+func (m *Manager) grantLocked(e *entry, owner *core.Txn, key Key, mode Mode) {
+	prev := e.holders[owner]
+	next := prev | mode
+	if mode == Exclusive && prev&SIRead != 0 && m.upgradeable(key) {
+		// §3.7.3: drop the SIREAD lock; the version we create will expose
+		// the conflict to future readers instead.
+		next &^= SIRead
+		m.sireds[owner]--
+		if m.sireds[owner] == 0 {
+			delete(m.sireds, owner)
+		}
+	}
+	if mode == SIRead && prev&SIRead == 0 {
+		m.sireds[owner]++
+	}
+	e.holders[owner] = next
+	e.countModes(prev, next)
+
+	keys := m.owned[owner]
+	if keys == nil {
+		keys = make(map[Key]Mode)
+		m.owned[owner] = keys
+	}
+	keys[key] = next
+}
+
+// cycleLocked reports whether the waits-for graph contains a cycle through
+// start. Runs a depth-first search over current wait edges.
+func (m *Manager) cycleLocked(start *core.Txn) bool {
+	seen := map[*core.Txn]bool{}
+	var dfs func(t *core.Txn) bool
+	dfs = func(t *core.Txn) bool {
+		for next := range m.waits[t] {
+			if next == start {
+				return true
+			}
+			if !seen[next] {
+				seen[next] = true
+				if dfs(next) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return dfs(start)
+}
+
+// ReleaseBlocking releases owner's Shared and Exclusive locks (at commit
+// time, after the log flush) but keeps SIREAD locks, which must survive
+// until the suspended owner is cleaned up.
+func (m *Manager) ReleaseBlocking(owner *core.Txn) {
+	m.release(owner, Shared|Exclusive)
+}
+
+// ReleaseAll releases every lock held by owner, including SIREAD locks. Used
+// on abort and when a suspended transaction is cleaned up.
+func (m *Manager) ReleaseAll(owner *core.Txn) {
+	m.release(owner, Shared|Exclusive|SIRead)
+}
+
+func (m *Manager) release(owner *core.Txn, modes Mode) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	keys := m.owned[owner]
+	if keys == nil {
+		return
+	}
+	for key, held := range keys {
+		rest := held &^ modes
+		e := m.table[key]
+		if held&SIRead != 0 && modes&SIRead != 0 {
+			m.sireds[owner]--
+			if m.sireds[owner] == 0 {
+				delete(m.sireds, owner)
+			}
+		}
+		e.countModes(held, rest)
+		if rest == 0 {
+			delete(keys, key)
+			delete(e.holders, owner)
+			if len(e.holders) == 0 && e.waiters == 0 {
+				delete(m.table, key)
+			}
+		} else {
+			keys[key] = rest
+			e.holders[owner] = rest
+		}
+		if held&(Shared|Exclusive) != 0 && modes&(Shared|Exclusive) != 0 && e.waiters > 0 {
+			e.cond.Broadcast()
+		}
+	}
+	if len(keys) == 0 {
+		delete(m.owned, owner)
+	}
+}
+
+// AcquireSIReadBatch grants SIREAD on every key in one lock-table critical
+// section and returns the union of conflicting EXCLUSIVE holders. SIREAD
+// never blocks, so this cannot wait; it exists because predicate scans lock
+// every row and gap they visit, and per-key mutex round-trips dominate
+// otherwise (InnoDB amortises the same way with per-page lock bitmaps,
+// thesis §4.4).
+func (m *Manager) AcquireSIReadBatch(owner *core.Txn, keys []Key) (rivals []*core.Txn) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	seen := map[*core.Txn]bool{}
+	for _, key := range keys {
+		e := m.table[key]
+		if e == nil {
+			e = &entry{holders: make(map[*core.Txn]Mode)}
+			e.cond = sync.NewCond(&m.mu)
+			m.table[key] = e
+		}
+		held := e.holders[owner]
+		if held&SIRead != 0 {
+			continue
+		}
+		if held&Exclusive != 0 && m.upgradeable(key) {
+			continue // already upgraded
+		}
+		others := e.nExclusive
+		if held&Exclusive != 0 {
+			others--
+		}
+		if others > 0 {
+			for h, hm := range e.holders {
+				if h != owner && hm&Exclusive != 0 && !seen[h] {
+					seen[h] = true
+					rivals = append(rivals, h)
+				}
+			}
+		}
+		m.grantLocked(e, owner, key, SIRead)
+	}
+	return rivals
+}
+
+// InheritSIRead copies every SIREAD lock held on src to dst. It implements
+// lock inheritance for structure changes: when an insert splits a locked gap
+// (the new key divides the key range a predicate read covered) or a page
+// split moves rows to a new page, the readers' SIREAD coverage must follow,
+// or later writers into the new gap/page would escape conflict detection.
+// SIREAD grants never block, so this completes immediately. The caller
+// typically holds the table latch, making the inheritance atomic with the
+// structure change.
+func (m *Manager) InheritSIRead(src, dst Key) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	se := m.table[src]
+	if se == nil {
+		return
+	}
+	var de *entry
+	for h, held := range se.holders {
+		if held&SIRead == 0 {
+			continue
+		}
+		if de == nil {
+			de = m.table[dst]
+			if de == nil {
+				de = &entry{holders: make(map[*core.Txn]Mode)}
+				de.cond = sync.NewCond(&m.mu)
+				m.table[dst] = de
+			}
+		}
+		if de.holders[h]&SIRead != 0 {
+			continue
+		}
+		mode := de.holders[h] | SIRead
+		de.countModes(de.holders[h], mode)
+		de.holders[h] = mode
+		keys := m.owned[h]
+		if keys == nil {
+			keys = make(map[Key]Mode)
+			m.owned[h] = keys
+		}
+		keys[dst] = mode
+		m.sireds[h]++
+	}
+}
+
+// HoldsSIRead reports whether owner currently holds any SIREAD lock; it
+// decides whether a committing transaction must be suspended (thesis §3.3).
+func (m *Manager) HoldsSIRead(owner *core.Txn) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sireds[owner] > 0
+}
+
+// Holds reports whether owner holds mode on key. Test helper.
+func (m *Manager) Holds(owner *core.Txn, key Key, mode Mode) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.table[key]
+	return e != nil && e.holders[owner]&mode == mode
+}
+
+// Stats reports the table census, used to verify that SIREAD cleanup keeps
+// the lock table bounded (the concern of thesis §4.3.1/§4.6.1).
+type Stats struct {
+	Keys   int // distinct locked keys
+	Owners int // distinct owners holding at least one lock
+}
+
+// StatsSnapshot returns current counters.
+func (m *Manager) StatsSnapshot() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{Keys: len(m.table), Owners: len(m.owned)}
+}

@@ -1,0 +1,364 @@
+package lock
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ssi/internal/core"
+)
+
+func newTxns(n int) (*core.Manager, []*core.Txn) {
+	mgr := core.NewManager(core.DetectorBasic)
+	txns := make([]*core.Txn, n)
+	for i := range txns {
+		txns[i] = mgr.Begin(core.SerializableSI)
+	}
+	return mgr, txns
+}
+
+func TestSharedSharedCompatible(t *testing.T) {
+	_, txns := newTxns(2)
+	m := NewManager(true)
+	k := RowKey("t", []byte("x"))
+	if _, err := m.Acquire(txns[0], k, Shared); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.Acquire(txns[1], k, Shared)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("shared lock blocked on shared lock")
+	}
+}
+
+func TestExclusiveBlocksShared(t *testing.T) {
+	_, txns := newTxns(2)
+	m := NewManager(true)
+	k := RowKey("t", []byte("x"))
+	if _, err := m.Acquire(txns[0], k, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	acquired := make(chan struct{})
+	go func() {
+		m.Acquire(txns[1], k, Shared)
+		close(acquired)
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("shared lock granted while exclusive held")
+	case <-time.After(50 * time.Millisecond):
+	}
+	m.ReleaseBlocking(txns[0])
+	select {
+	case <-acquired:
+	case <-time.After(time.Second):
+		t.Fatal("shared lock not granted after exclusive release")
+	}
+}
+
+func TestSIReadNeverBlocksOrIsBlocked(t *testing.T) {
+	_, txns := newTxns(3)
+	m := NewManager(true)
+	k := RowKey("t", []byte("x"))
+	if _, err := m.Acquire(txns[0], k, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	// SIREAD under a held exclusive lock must be granted immediately and
+	// report the exclusive holder as a rival (thesis Figure 3.4).
+	rivals, err := m.Acquire(txns[1], k, SIRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rivals) != 1 || rivals[0] != txns[0] {
+		t.Fatalf("SIREAD rivals = %v, want [txn0]", rivals)
+	}
+	// A new exclusive request must not block on the SIREAD lock, only on
+	// the other exclusive; after release, it reports the SIREAD holder.
+	m.ReleaseBlocking(txns[0])
+	rivals, err = m.Acquire(txns[2], k, Exclusive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rivals) != 1 || rivals[0] != txns[1] {
+		t.Fatalf("EXCLUSIVE rivals = %v, want [txn1]", rivals)
+	}
+}
+
+func TestSIReadSurvivesReleaseBlocking(t *testing.T) {
+	_, txns := newTxns(1)
+	m := NewManager(true)
+	k := RowKey("t", []byte("x"))
+	m.Acquire(txns[0], k, SIRead)
+	m.ReleaseBlocking(txns[0])
+	if !m.Holds(txns[0], k, SIRead) {
+		t.Fatal("SIREAD lock released by ReleaseBlocking")
+	}
+	if !m.HoldsSIRead(txns[0]) {
+		t.Fatal("HoldsSIRead = false")
+	}
+	m.ReleaseAll(txns[0])
+	if m.Holds(txns[0], k, SIRead) {
+		t.Fatal("SIREAD lock survived ReleaseAll")
+	}
+	if s := m.StatsSnapshot(); s.Keys != 0 || s.Owners != 0 {
+		t.Fatalf("lock table not empty after ReleaseAll: %+v", s)
+	}
+}
+
+func TestSIReadUpgrade(t *testing.T) {
+	_, txns := newTxns(1)
+	m := NewManager(true)
+	k := RowKey("t", []byte("x"))
+	m.Acquire(txns[0], k, SIRead)
+	m.Acquire(txns[0], k, Exclusive)
+	if m.Holds(txns[0], k, SIRead) {
+		t.Fatal("SIREAD not dropped on exclusive upgrade (§3.7.3)")
+	}
+	if !m.Holds(txns[0], k, Exclusive) {
+		t.Fatal("exclusive not held after upgrade")
+	}
+	if m.HoldsSIRead(txns[0]) {
+		t.Fatal("HoldsSIRead should be false after upgrade")
+	}
+	// Acquiring SIREAD after Exclusive is a no-op under upgrade semantics.
+	m.Acquire(txns[0], k, SIRead)
+	if m.Holds(txns[0], k, SIRead) {
+		t.Fatal("SIREAD re-acquired on a key already exclusively locked")
+	}
+}
+
+func TestSIReadUpgradeDisabled(t *testing.T) {
+	_, txns := newTxns(1)
+	m := NewManager(false)
+	k := RowKey("t", []byte("x"))
+	m.Acquire(txns[0], k, SIRead)
+	m.Acquire(txns[0], k, Exclusive)
+	if !m.Holds(txns[0], k, SIRead) || !m.Holds(txns[0], k, Exclusive) {
+		t.Fatal("both modes should be held when upgrade disabled")
+	}
+}
+
+func TestSharedToExclusiveUpgrade(t *testing.T) {
+	_, txns := newTxns(2)
+	m := NewManager(true)
+	k := RowKey("t", []byte("x"))
+	m.Acquire(txns[0], k, Shared)
+	m.Acquire(txns[1], k, Shared)
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.Acquire(txns[0], k, Exclusive)
+		done <- err
+	}()
+	select {
+	case <-done:
+		t.Fatal("upgrade granted while another shared holder exists")
+	case <-time.After(50 * time.Millisecond):
+	}
+	m.ReleaseAll(txns[1])
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !m.Holds(txns[0], k, Exclusive) {
+		t.Fatal("upgrade not granted")
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	_, txns := newTxns(2)
+	m := NewManager(true)
+	kx := RowKey("t", []byte("x"))
+	ky := RowKey("t", []byte("y"))
+	m.Acquire(txns[0], kx, Exclusive)
+	m.Acquire(txns[1], ky, Exclusive)
+
+	errs := make(chan error, 2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, err := m.Acquire(txns[0], ky, Exclusive)
+		if err != nil {
+			m.ReleaseAll(txns[0])
+		}
+		errs <- err
+	}()
+	go func() {
+		defer wg.Done()
+		_, err := m.Acquire(txns[1], kx, Exclusive)
+		if err != nil {
+			m.ReleaseAll(txns[1])
+		}
+		errs <- err
+	}()
+	wg.Wait()
+	close(errs)
+	var deadlocks, oks int
+	for err := range errs {
+		switch {
+		case err == nil:
+			oks++
+		case errors.Is(err, core.ErrDeadlock):
+			deadlocks++
+		default:
+			t.Fatalf("unexpected error %v", err)
+		}
+	}
+	if deadlocks < 1 {
+		t.Fatalf("deadlocks=%d oks=%d, want at least one deadlock", deadlocks, oks)
+	}
+}
+
+func TestUpgradeDeadlock(t *testing.T) {
+	// Two shared holders both upgrading is the classic upgrade deadlock.
+	_, txns := newTxns(2)
+	m := NewManager(true)
+	k := RowKey("t", []byte("x"))
+	m.Acquire(txns[0], k, Shared)
+	m.Acquire(txns[1], k, Shared)
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			_, err := m.Acquire(txns[i], k, Exclusive)
+			if err != nil {
+				m.ReleaseAll(txns[i])
+			}
+			errs <- err
+		}(i)
+	}
+	var deadlocks int
+	for i := 0; i < 2; i++ {
+		if errors.Is(<-errs, core.ErrDeadlock) {
+			deadlocks++
+		}
+	}
+	if deadlocks < 1 {
+		t.Fatal("upgrade deadlock not detected")
+	}
+}
+
+func TestReacquireIsNoop(t *testing.T) {
+	_, txns := newTxns(1)
+	m := NewManager(true)
+	k := RowKey("t", []byte("x"))
+	for i := 0; i < 3; i++ {
+		if _, err := m.Acquire(txns[0], k, Exclusive); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := m.StatsSnapshot(); s.Keys != 1 {
+		t.Fatalf("Keys = %d, want 1", s.Keys)
+	}
+}
+
+func TestGapAndRowNamespacesIndependent(t *testing.T) {
+	_, txns := newTxns(2)
+	m := NewManager(true)
+	row := RowKey("t", []byte("c"))
+	gap := GapKey("t", []byte("c"))
+	if row == gap {
+		t.Fatal("row and gap keys must differ")
+	}
+	m.Acquire(txns[0], row, Exclusive)
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.Acquire(txns[1], gap, Exclusive)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("gap lock blocked on row lock of same key")
+	}
+}
+
+func TestGapExclusiveCompatible(t *testing.T) {
+	// Two inserts into the same gap must not block each other (InnoDB
+	// insert-intention semantics); only a reader's shared gap lock blocks.
+	_, txns := newTxns(3)
+	m := NewManager(true)
+	g := GapKey("t", []byte("z"))
+	if _, err := m.Acquire(txns[0], g, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.Acquire(txns[1], g, Exclusive)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("gap X blocked on gap X")
+	}
+	// A shared gap lock (S2PL scan) blocks a new insert into the gap.
+	m.ReleaseAll(txns[0])
+	m.ReleaseAll(txns[1])
+	m.Acquire(txns[2], g, Shared)
+	blocked := make(chan struct{})
+	go func() {
+		m.Acquire(txns[0], g, Exclusive)
+		close(blocked)
+	}()
+	select {
+	case <-blocked:
+		t.Fatal("insert not blocked by shared gap lock")
+	case <-time.After(50 * time.Millisecond):
+	}
+	m.ReleaseAll(txns[2])
+	select {
+	case <-blocked:
+	case <-time.After(time.Second):
+		t.Fatal("insert not granted after scan released")
+	}
+}
+
+func TestSupremumGapKeyDistinct(t *testing.T) {
+	sup := SupremumGapKey("t")
+	if sup == GapKey("t", nil) || sup == GapKey("t", []byte{}) {
+		t.Fatal("supremum key collides with empty gap key")
+	}
+	if sup.Kind != GapSupremum {
+		t.Fatalf("kind = %v", sup.Kind)
+	}
+}
+
+func TestManyWaitersWakeUp(t *testing.T) {
+	_, txns := newTxns(9)
+	m := NewManager(true)
+	k := RowKey("t", []byte("hot"))
+	m.Acquire(txns[0], k, Exclusive)
+	var wg sync.WaitGroup
+	for i := 1; i < 9; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := m.Acquire(txns[i], k, Shared); err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+			}
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond)
+	m.ReleaseBlocking(txns[0])
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("shared waiters not all granted after exclusive release")
+	}
+}

@@ -1,0 +1,461 @@
+// Package mvcc implements the multiversion row store beneath the engine:
+// per-key version chains ordered newest-first, snapshot visibility checks,
+// tombstoned deletes, First-Committer-Wins support, and the page write-stamp
+// registry used by the Berkeley-DB-style page-granularity mode.
+//
+// Versions never carry an explicit commit timestamp; visibility consults the
+// creating transaction's record, which the core package publishes atomically
+// at commit. That mirrors the thesis prototypes, where a row/page version
+// points at its creating transaction (assumption 3 of §3.2).
+package mvcc
+
+import (
+	"sync"
+
+	"ssi/internal/btree"
+	"ssi/internal/core"
+)
+
+// Version is one version of a row. Versions form a singly linked list from
+// newest to oldest.
+type Version struct {
+	Data      []byte
+	Creator   *core.Txn
+	Tombstone bool
+	Older     *Version
+}
+
+// committedAt returns the version's commit timestamp or 0 if uncommitted.
+func (v *Version) committedAt() core.TS {
+	if v.Creator.Committed() {
+		return v.Creator.CommitTS()
+	}
+	return 0
+}
+
+// chain is the version list for one key. Guarded by the owning Table latch.
+type chain struct {
+	head *Version
+}
+
+// ReadResult reports the outcome of a snapshot read of one key.
+type ReadResult struct {
+	// Value is the visible data; meaningful only if Found.
+	Value []byte
+	// Found is true if a live (non-tombstone) version is visible.
+	Found bool
+	// VisibleCreator is the transaction that created the visible version
+	// (live or tombstone), or nil if no version is visible. Used by the
+	// history recorder to attribute wr-dependencies.
+	VisibleCreator *core.Txn
+	// NewerWriters lists the creators of versions newer than the one read
+	// (committed after the snapshot, or still uncommitted by another
+	// transaction). Each is the target of an rw-antidependency from the
+	// reader (thesis Figure 3.4 lines 8-9).
+	NewerWriters []*core.Txn
+}
+
+// Table is one table: a latch-protected B+tree of version chains.
+type Table struct {
+	name string
+	mu   sync.RWMutex
+	tree *btree.Tree
+
+	// horizon returns the oldest snapshot any active transaction could
+	// read at; versions superseded before it are pruned opportunistically.
+	horizon func() core.TS
+}
+
+// NewTable creates a table whose B+tree pages hold up to maxKeys keys.
+// horizon supplies the version-pruning watermark (typically
+// core.Manager.OldestActiveSnapshot).
+func NewTable(name string, maxKeys int, horizon func() core.TS) *Table {
+	return &Table{name: name, tree: btree.New(maxKeys), horizon: horizon}
+}
+
+// Name returns the table name.
+func (tb *Table) Name() string { return tb.name }
+
+// Len returns the number of distinct keys ever inserted (including keys
+// whose newest version is a tombstone).
+func (tb *Table) Len() int {
+	tb.mu.RLock()
+	defer tb.mu.RUnlock()
+	return tb.tree.Len()
+}
+
+// visible reports whether version v is visible to transaction t reading at
+// snapshot snap: it is t's own write, or it committed before snap.
+func visible(v *Version, t *core.Txn, snap core.TS) bool {
+	if v.Creator == t {
+		return true
+	}
+	ct := v.committedAt()
+	return ct != 0 && ct < snap
+}
+
+// Read performs a snapshot read of key for t at snapshot snap, also
+// reporting the creators of any newer versions for conflict marking.
+func (tb *Table) Read(t *core.Txn, snap core.TS, key []byte) ReadResult {
+	tb.mu.RLock()
+	defer tb.mu.RUnlock()
+	v, ok := tb.tree.Get(key)
+	if !ok {
+		return ReadResult{}
+	}
+	return readChain(v.(*chain), t, snap)
+}
+
+func readChain(c *chain, t *core.Txn, snap core.TS) ReadResult {
+	var res ReadResult
+	for v := c.head; v != nil; v = v.Older {
+		if visible(v, t, snap) {
+			res.VisibleCreator = v.Creator
+			if !v.Tombstone {
+				res.Value = v.Data
+				res.Found = true
+			}
+			return res
+		}
+		if v.Creator != t && !v.Creator.Aborted() {
+			res.NewerWriters = append(res.NewerWriters, v.Creator)
+		}
+	}
+	return res
+}
+
+// ReadLatest returns the newest committed version of key (or t's own
+// uncommitted version), ignoring snapshots. This is the locking-read
+// semantics used by S2PL and by SELECT FOR UPDATE-style reads (thesis §4.4):
+// under a held lock no other uncommitted version can exist.
+func (tb *Table) ReadLatest(t *core.Txn, key []byte) (val []byte, found bool, creator *core.Txn) {
+	tb.mu.RLock()
+	defer tb.mu.RUnlock()
+	cv, ok := tb.tree.Get(key)
+	if !ok {
+		return nil, false, nil
+	}
+	for v := cv.(*chain).head; v != nil; v = v.Older {
+		if v.Creator == t || v.Creator.Committed() {
+			if v.Tombstone {
+				return nil, false, v.Creator
+			}
+			return v.Data, true, v.Creator
+		}
+	}
+	return nil, false, nil
+}
+
+// NewestCommitTS returns the commit timestamp of the newest committed
+// version of key, or 0 if none. It implements the First-Committer-Wins
+// check: a writer whose snapshot predates this timestamp must abort.
+func (tb *Table) NewestCommitTS(key []byte) core.TS {
+	tb.mu.RLock()
+	defer tb.mu.RUnlock()
+	cv, ok := tb.tree.Get(key)
+	if !ok {
+		return 0
+	}
+	for v := cv.(*chain).head; v != nil; v = v.Older {
+		if ct := v.committedAt(); ct != 0 {
+			return ct
+		}
+	}
+	return 0
+}
+
+// Exists reports whether key has any version chain at all (live, dead or
+// uncommitted). Used by insert duplicate checks alongside visibility.
+func (tb *Table) Exists(key []byte) bool {
+	tb.mu.RLock()
+	defer tb.mu.RUnlock()
+	_, ok := tb.tree.Get(key)
+	return ok
+}
+
+// Write installs a new uncommitted version of key created by t. tombstone
+// marks a delete. The caller must hold the appropriate exclusive lock and
+// have already applied the First-Committer-Wins check. A second write by the
+// same transaction replaces its own pending version in place.
+//
+// If the key did not exist before, onInsert (when non-nil) runs under the
+// table latch with the key's successor at insertion time, *before* the key
+// becomes visible to scans; the engine uses it to inherit SIREAD gap locks
+// onto the new key's gap atomically with the structure change. Write reports
+// whether a structural insert happened and the successor it saw.
+func (tb *Table) Write(t *core.Txn, key []byte, data []byte, tombstone bool, onInsert func(succ []byte, hasSucc bool)) (inserted bool, succ []byte, hasSucc bool) {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	cv, ok := tb.tree.Get(key)
+	if !ok {
+		if onInsert != nil {
+			succ, hasSucc = tb.tree.Successor(key)
+			onInsert(succ, hasSucc)
+		}
+		cv, _ = tb.tree.GetOrInsert(key, &chain{})
+		inserted = true
+	}
+	c := cv.(*chain)
+	if c.head != nil && c.head.Creator == t {
+		c.head.Data = data
+		c.head.Tombstone = tombstone
+		return inserted, succ, hasSucc
+	}
+	c.head = &Version{Data: data, Creator: t, Tombstone: tombstone, Older: c.head}
+	tb.pruneChainLocked(c)
+	return inserted, succ, hasSucc
+}
+
+// SetSplitHook installs a callback invoked under the table latch whenever a
+// B+tree page split moves keys to a new page.
+func (tb *Table) SetSplitHook(fn func(oldPage, newPage uint32)) {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	tb.tree.OnSplit = fn
+}
+
+// Rollback removes t's pending version of key, restoring the chain to its
+// pre-transaction state. Called for each written key when t aborts.
+func (tb *Table) Rollback(t *core.Txn, key []byte) {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	cv, ok := tb.tree.Get(key)
+	if !ok {
+		return
+	}
+	c := cv.(*chain)
+	if c.head != nil && c.head.Creator == t {
+		c.head = c.head.Older
+	}
+}
+
+// pruneChainLocked drops versions that no current or future snapshot can
+// read: everything older than the newest version committed before the
+// horizon. Tombstone chains whose visible version is the tombstone keep it
+// (the thesis notes tombstones are reclaimed once no transaction could read
+// the last live version; we keep the tombstone itself as the chain marker).
+func (tb *Table) pruneChainLocked(c *chain) {
+	const pruneThreshold = 8
+	n := 0
+	for v := c.head; v != nil; v = v.Older {
+		n++
+	}
+	if n < pruneThreshold {
+		return
+	}
+	h := tb.horizon()
+	for v := c.head; v != nil; v = v.Older {
+		if ct := v.committedAt(); ct != 0 && ct < h {
+			v.Older = nil // v is visible to the oldest snapshot; older ones are garbage
+			return
+		}
+	}
+}
+
+// ScanItem is one key visited by Scan.
+type ScanItem struct {
+	Key  []byte
+	Page uint32
+	ReadResult
+}
+
+// Scan visits keys in [from, ...) in order, calling fn for each until fn
+// returns false. Every key with any chain is visited — including keys whose
+// visible state is "absent" — because the scanner must detect phantom
+// conflicts from invisible newer versions (thesis §3.5: inserted rows and
+// tombstones newer than the snapshot still trigger conflict detection). The
+// callback decides when the range ends, which lets the engine lock the gap
+// beyond the last matching key per the next-key protocol.
+func (tb *Table) Scan(t *core.Txn, snap core.TS, from []byte, fn func(ScanItem) bool) {
+	tb.ScanWith(t, snap, from, fn, nil)
+}
+
+// ScanWith is Scan plus an after callback invoked while the table latch is
+// still held, with exhausted reporting whether the iteration ran off the end
+// of the table. Serializable SI scans use it to take their SIREAD locks
+// (which never block) atomically with the iteration: no insert can slip
+// between reading the range and protecting it, because inserts take the
+// write latch.
+func (tb *Table) ScanWith(t *core.Txn, snap core.TS, from []byte, fn func(ScanItem) bool, after func(exhausted bool)) {
+	tb.mu.RLock()
+	defer tb.mu.RUnlock()
+	exhausted := true
+	tb.tree.Ascend(from, func(key []byte, val any, page uint32) bool {
+		item := ScanItem{Key: key, Page: page, ReadResult: readChain(val.(*chain), t, snap)}
+		if !fn(item) {
+			exhausted = false
+			return false
+		}
+		return true
+	})
+	if after != nil {
+		after(exhausted)
+	}
+}
+
+// LeafPage, PathPages, InsertWillSplit and Successor expose the underlying
+// tree's page topology for the page-granularity engine mode and the gap
+// locking protocol.
+func (tb *Table) LeafPage(key []byte) uint32 {
+	tb.mu.RLock()
+	defer tb.mu.RUnlock()
+	return tb.tree.LeafPage(key)
+}
+
+// PathPages returns the root-to-leaf page path for key.
+func (tb *Table) PathPages(key []byte) []uint32 {
+	tb.mu.RLock()
+	defer tb.mu.RUnlock()
+	return tb.tree.PathPages(key)
+}
+
+// InsertWillSplit reports whether inserting key would split its leaf page.
+func (tb *Table) InsertWillSplit(key []byte) bool {
+	tb.mu.RLock()
+	defer tb.mu.RUnlock()
+	return tb.tree.InsertWillSplit(key)
+}
+
+// Successor returns the smallest key strictly greater than key.
+func (tb *Table) Successor(key []byte) ([]byte, bool) {
+	tb.mu.RLock()
+	defer tb.mu.RUnlock()
+	return tb.tree.Successor(key)
+}
+
+// PageCount returns the number of B+tree pages allocated in this table.
+func (tb *Table) PageCount() int {
+	tb.mu.RLock()
+	defer tb.mu.RUnlock()
+	return tb.tree.PageCount()
+}
+
+// PageStamps records which transactions wrote each page of a table. It is
+// the page-granularity analogue of version chains: the Berkeley DB prototype
+// versions whole pages, so "a newer version of the page exists" means "some
+// transaction that committed after my snapshot wrote this page" — including
+// structural writes from splits, which is exactly how the paper's prototype
+// manufactures its root-page false positives (§6.1.5).
+type PageStamps struct {
+	mu     sync.Mutex
+	byPage map[uint32]*pageHist
+}
+
+type pageHist struct {
+	writers   []*core.Txn
+	maxCommit core.TS // commit stamp floor preserved across pruning
+}
+
+// NewPageStamps returns an empty registry.
+func NewPageStamps() *PageStamps {
+	return &PageStamps{byPage: make(map[uint32]*pageHist)}
+}
+
+// InheritOnSplit copies the write history of oldPage onto newPage. When a
+// split moves rows to a new page, the moved rows' page-level
+// First-Committer-Wins watermark must follow them, or a stale-snapshot
+// writer of a moved row would slip past the conflict check.
+func (ps *PageStamps) InheritOnSplit(oldPage, newPage uint32) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	src := ps.byPage[oldPage]
+	if src == nil {
+		return
+	}
+	dst := ps.byPage[newPage]
+	if dst == nil {
+		dst = &pageHist{}
+		ps.byPage[newPage] = dst
+	}
+	if src.maxCommit > dst.maxCommit {
+		dst.maxCommit = src.maxCommit
+	}
+outer:
+	for _, w := range src.writers {
+		for _, d := range dst.writers {
+			if d == w {
+				continue outer
+			}
+		}
+		dst.writers = append(dst.writers, w)
+	}
+}
+
+// AddWriter records that t wrote page (holding its exclusive page lock).
+func (ps *PageStamps) AddWriter(page uint32, t *core.Txn) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	h := ps.byPage[page]
+	if h == nil {
+		h = &pageHist{}
+		ps.byPage[page] = h
+	}
+	for _, w := range h.writers {
+		if w == t {
+			return
+		}
+	}
+	h.writers = append(h.writers, t)
+}
+
+// NewestCommitTS returns the latest commit timestamp among writers of page,
+// the page-granularity First-Committer-Wins input.
+func (ps *PageStamps) NewestCommitTS(page uint32) core.TS {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	h := ps.byPage[page]
+	if h == nil {
+		return 0
+	}
+	max := h.maxCommit
+	for _, w := range h.writers {
+		if ct := w.CommitTS(); w.Committed() && ct > max {
+			max = ct
+		}
+	}
+	return max
+}
+
+// NewerWriters returns writers of page that committed after snap (the
+// page-granularity "newer version" creators of thesis Figure 3.4).
+func (ps *PageStamps) NewerWriters(page uint32, snap core.TS) []*core.Txn {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	h := ps.byPage[page]
+	if h == nil {
+		return nil
+	}
+	var out []*core.Txn
+	for _, w := range h.writers {
+		if w.Committed() && w.CommitTS() >= snap {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Prune drops writers that committed before horizon (folding their stamp
+// into maxCommit) and writers that aborted.
+func (ps *PageStamps) Prune(horizon core.TS) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	for page, h := range ps.byPage {
+		kept := h.writers[:0]
+		for _, w := range h.writers {
+			switch {
+			case w.Aborted():
+				// drop
+			case w.Committed() && w.CommitTS() < horizon:
+				if ct := w.CommitTS(); ct > h.maxCommit {
+					h.maxCommit = ct
+				}
+			default:
+				kept = append(kept, w)
+			}
+		}
+		h.writers = kept
+		if len(kept) == 0 && h.maxCommit == 0 {
+			delete(ps.byPage, page)
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package mvcc
+
+import (
+	"fmt"
+	"testing"
+
+	"ssi/internal/core"
+)
+
+type fixture struct {
+	m  *core.Manager
+	tb *Table
+}
+
+func newFixture() *fixture {
+	m := core.NewManager(core.DetectorPrecise)
+	f := &fixture{m: m}
+	f.tb = NewTable("t", 8, m.OldestActiveSnapshot)
+	return f
+}
+
+func (f *fixture) commit(t *testing.T, txn *core.Txn) core.TS {
+	t.Helper()
+	ct, err := f.m.CommitPrepare(txn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.m.Finish(txn, false)
+	return ct
+}
+
+func (f *fixture) put(t *testing.T, key, val string) core.TS {
+	t.Helper()
+	txn := f.m.Begin(core.SnapshotIsolation)
+	f.m.AssignSnapshot(txn)
+	f.tb.Write(txn, []byte(key), []byte(val), false, nil)
+	return f.commit(t, txn)
+}
+
+func TestSnapshotVisibility(t *testing.T) {
+	f := newFixture()
+	f.put(t, "x", "v1")
+
+	reader := f.m.Begin(core.SnapshotIsolation)
+	snap := f.m.AssignSnapshot(reader)
+
+	f.put(t, "x", "v2") // committed after reader's snapshot
+
+	res := f.tb.Read(reader, snap, []byte("x"))
+	if !res.Found || string(res.Value) != "v1" {
+		t.Fatalf("read %q found=%v, want v1", res.Value, res.Found)
+	}
+	if len(res.NewerWriters) != 1 {
+		t.Fatalf("NewerWriters = %d, want 1", len(res.NewerWriters))
+	}
+
+	// A fresh snapshot sees v2 and no newer writers.
+	r2 := f.m.Begin(core.SnapshotIsolation)
+	s2 := f.m.AssignSnapshot(r2)
+	res = f.tb.Read(r2, s2, []byte("x"))
+	if string(res.Value) != "v2" || len(res.NewerWriters) != 0 {
+		t.Fatalf("fresh read = %q, newer=%d", res.Value, len(res.NewerWriters))
+	}
+}
+
+func TestOwnWritesVisible(t *testing.T) {
+	f := newFixture()
+	f.put(t, "x", "v1")
+	txn := f.m.Begin(core.SnapshotIsolation)
+	snap := f.m.AssignSnapshot(txn)
+	f.tb.Write(txn, []byte("x"), []byte("mine"), false, nil)
+	res := f.tb.Read(txn, snap, []byte("x"))
+	if string(res.Value) != "mine" {
+		t.Fatalf("own write invisible: %q", res.Value)
+	}
+	// Another concurrent transaction still sees v1 and no newer committed
+	// version, but does see the uncommitted writer as newer.
+	other := f.m.Begin(core.SnapshotIsolation)
+	so := f.m.AssignSnapshot(other)
+	res = f.tb.Read(other, so, []byte("x"))
+	if string(res.Value) != "v1" {
+		t.Fatalf("concurrent read = %q, want v1", res.Value)
+	}
+	if len(res.NewerWriters) != 1 || res.NewerWriters[0] != txn {
+		t.Fatalf("uncommitted writer not reported: %v", res.NewerWriters)
+	}
+}
+
+func TestUncommittedInvisible(t *testing.T) {
+	f := newFixture()
+	w := f.m.Begin(core.SnapshotIsolation)
+	f.m.AssignSnapshot(w)
+	f.tb.Write(w, []byte("x"), []byte("dirty"), false, nil)
+
+	r := f.m.Begin(core.SnapshotIsolation)
+	sr := f.m.AssignSnapshot(r)
+	if res := f.tb.Read(r, sr, []byte("x")); res.Found {
+		t.Fatalf("dirty read: %q", res.Value)
+	}
+}
+
+func TestTombstoneVisibility(t *testing.T) {
+	f := newFixture()
+	f.put(t, "x", "v1")
+	del := f.m.Begin(core.SnapshotIsolation)
+	f.m.AssignSnapshot(del)
+	f.tb.Write(del, []byte("x"), nil, true, nil)
+
+	before := f.m.Begin(core.SnapshotIsolation)
+	sb := f.m.AssignSnapshot(before)
+	f.commit(t, del)
+
+	// A snapshot taken before the delete still sees v1.
+	if res := f.tb.Read(before, sb, []byte("x")); !res.Found || string(res.Value) != "v1" {
+		t.Fatalf("pre-delete snapshot read = %v %q", res.Found, res.Value)
+	}
+	// A snapshot after sees the tombstone: absent, creator attributed.
+	after := f.m.Begin(core.SnapshotIsolation)
+	sa := f.m.AssignSnapshot(after)
+	res := f.tb.Read(after, sa, []byte("x"))
+	if res.Found {
+		t.Fatal("deleted key visible")
+	}
+	if res.VisibleCreator != del {
+		t.Fatal("tombstone creator not attributed")
+	}
+}
+
+func TestRollbackRestoresChain(t *testing.T) {
+	f := newFixture()
+	f.put(t, "x", "v1")
+	w := f.m.Begin(core.SnapshotIsolation)
+	f.m.AssignSnapshot(w)
+	f.tb.Write(w, []byte("x"), []byte("bad"), false, nil)
+	f.tb.Write(w, []byte("y"), []byte("new"), false, nil)
+	f.tb.Rollback(w, []byte("x"))
+	f.tb.Rollback(w, []byte("y"))
+	f.m.Abort(w)
+
+	r := f.m.Begin(core.SnapshotIsolation)
+	sr := f.m.AssignSnapshot(r)
+	if res := f.tb.Read(r, sr, []byte("x")); string(res.Value) != "v1" {
+		t.Fatalf("x = %q after rollback", res.Value)
+	}
+	if res := f.tb.Read(r, sr, []byte("y")); res.Found {
+		t.Fatal("rolled-back insert visible")
+	}
+	if len(f.tb.Read(r, sr, []byte("x")).NewerWriters) != 0 {
+		t.Fatal("aborted writer still reported as newer")
+	}
+}
+
+func TestSecondWriteSameTxnCollapses(t *testing.T) {
+	f := newFixture()
+	w := f.m.Begin(core.SnapshotIsolation)
+	f.m.AssignSnapshot(w)
+	f.tb.Write(w, []byte("x"), []byte("a"), false, nil)
+	f.tb.Write(w, []byte("x"), []byte("b"), false, nil)
+	f.tb.Rollback(w, []byte("x")) // one rollback must remove everything
+	f.m.Abort(w)
+	if f.tb.NewestCommitTS([]byte("x")) != 0 {
+		t.Fatal("chain not empty after rollback of double write")
+	}
+}
+
+func TestNewestCommitTSForFCW(t *testing.T) {
+	f := newFixture()
+	ct1 := f.put(t, "x", "v1")
+	if got := f.tb.NewestCommitTS([]byte("x")); got != ct1 {
+		t.Fatalf("NewestCommitTS = %d, want %d", got, ct1)
+	}
+	// An uncommitted head does not change the committed watermark.
+	w := f.m.Begin(core.SnapshotIsolation)
+	f.m.AssignSnapshot(w)
+	f.tb.Write(w, []byte("x"), []byte("pending"), false, nil)
+	if got := f.tb.NewestCommitTS([]byte("x")); got != ct1 {
+		t.Fatalf("NewestCommitTS with pending head = %d, want %d", got, ct1)
+	}
+	ct2 := f.commit(t, w)
+	if got := f.tb.NewestCommitTS([]byte("x")); got != ct2 {
+		t.Fatalf("NewestCommitTS = %d, want %d", got, ct2)
+	}
+}
+
+func TestReadLatest(t *testing.T) {
+	f := newFixture()
+	f.put(t, "x", "v1")
+	reader := f.m.Begin(core.S2PL)
+	v, ok, creator := f.tb.ReadLatest(reader, []byte("x"))
+	if !ok || string(v) != "v1" || creator == nil {
+		t.Fatalf("ReadLatest = %q %v", v, ok)
+	}
+	if _, ok, _ := f.tb.ReadLatest(reader, []byte("missing")); ok {
+		t.Fatal("ReadLatest found missing key")
+	}
+}
+
+func TestChainPruning(t *testing.T) {
+	f := newFixture()
+	// 40 committed versions with no concurrent readers: the chain must be
+	// pruned well below 40.
+	for i := 0; i < 40; i++ {
+		f.put(t, "x", fmt.Sprintf("v%d", i))
+	}
+	n := 0
+	f.tb.mu.RLock()
+	cv, _ := f.tb.tree.Get([]byte("x"))
+	for v := cv.(*chain).head; v != nil; v = v.Older {
+		n++
+	}
+	f.tb.mu.RUnlock()
+	if n >= 40 {
+		t.Fatalf("chain not pruned: %d versions", n)
+	}
+	// Latest value still correct.
+	r := f.m.Begin(core.SnapshotIsolation)
+	sr := f.m.AssignSnapshot(r)
+	if res := f.tb.Read(r, sr, []byte("x")); string(res.Value) != "v39" {
+		t.Fatalf("after pruning read %q", res.Value)
+	}
+}
+
+func TestScanVisitsInvisibleKeys(t *testing.T) {
+	f := newFixture()
+	f.put(t, "a", "1")
+	reader := f.m.Begin(core.SnapshotIsolation)
+	snap := f.m.AssignSnapshot(reader)
+	f.put(t, "b", "2") // invisible to reader
+
+	var keys []string
+	var newer int
+	f.tb.Scan(reader, snap, nil, func(it ScanItem) bool {
+		keys = append(keys, string(it.Key))
+		newer += len(it.NewerWriters)
+		return true
+	})
+	if len(keys) != 2 {
+		t.Fatalf("scan visited %v, want both keys (phantom detection needs invisible ones)", keys)
+	}
+	if newer != 1 {
+		t.Fatalf("scan reported %d newer writers, want 1", newer)
+	}
+}
+
+func TestPageStamps(t *testing.T) {
+	f := newFixture()
+	ps := NewPageStamps()
+	w1 := f.m.Begin(core.SnapshotIsolation)
+	f.m.AssignSnapshot(w1)
+	ps.AddWriter(7, w1)
+	ps.AddWriter(7, w1) // idempotent
+
+	if ps.NewestCommitTS(7) != 0 {
+		t.Fatal("uncommitted writer counted in NewestCommitTS")
+	}
+	reader := f.m.Begin(core.SnapshotIsolation)
+	snap := f.m.AssignSnapshot(reader)
+	ct := f.commit(t, w1)
+	if got := ps.NewestCommitTS(7); got != ct {
+		t.Fatalf("NewestCommitTS = %d, want %d", got, ct)
+	}
+	nw := ps.NewerWriters(7, snap)
+	if len(nw) != 1 || nw[0] != w1 {
+		t.Fatalf("NewerWriters = %v", nw)
+	}
+	if len(ps.NewerWriters(7, ct+1)) != 0 {
+		t.Fatal("writer older than snapshot reported")
+	}
+	// Pruning folds old commits into the floor but keeps FCW exact.
+	ps.Prune(ct + 1)
+	if got := ps.NewestCommitTS(7); got != ct {
+		t.Fatalf("NewestCommitTS after prune = %d, want %d", got, ct)
+	}
+	if len(ps.NewerWriters(7, snap)) != 0 {
+		t.Fatal("pruned writer still listed")
+	}
+}
+
+func TestPageStampsDropAborted(t *testing.T) {
+	f := newFixture()
+	ps := NewPageStamps()
+	w := f.m.Begin(core.SnapshotIsolation)
+	f.m.AssignSnapshot(w)
+	ps.AddWriter(3, w)
+	f.m.Abort(w)
+	ps.Prune(1)
+	if got := ps.NewestCommitTS(3); got != 0 {
+		t.Fatalf("aborted writer left a stamp: %d", got)
+	}
+}

@@ -1,0 +1,142 @@
+package sdg
+
+// This file declares the transaction programs of the thesis' benchmarks as
+// static read/write sets, at the granularity Fekete et al. (2005) use:
+// point accesses are parameterised rows; predicate reads and the inserts or
+// deletes that could change their result are accesses to a partition-level
+// set item (e.g. NewOrderSet(w,d)).
+
+// SmallBank returns the five SmallBank programs (thesis §2.8.2-§2.8.3).
+// The expected analysis (Figure 2.9): WriteCheck is the only pivot, via
+// Bal ~> WC ~> TS with the wr path TS -> Bal closing the cycle; the edge
+// WC -> Amg is NOT vulnerable because whenever Amg writes a Saving row it
+// also writes the corresponding Checking row, which WC writes too.
+func SmallBank() []*Program {
+	return []*Program{
+		{
+			Name:  "Bal",
+			Reads: []Item{I("Account", "n"), I("Saving", "n"), I("Checking", "n")},
+		},
+		{
+			Name:   "DC",
+			Reads:  []Item{I("Account", "n"), I("Checking", "n")},
+			Writes: []Item{I("Checking", "n")},
+		},
+		{
+			Name:   "TS",
+			Reads:  []Item{I("Account", "n"), I("Saving", "n")},
+			Writes: []Item{I("Saving", "n")},
+		},
+		{
+			Name: "Amg",
+			Reads: []Item{
+				I("Account", "n1"), I("Account", "n2"),
+				I("Saving", "n1"), I("Checking", "n1"),
+			},
+			Writes: []Item{I("Saving", "n1"), I("Checking", "n1"), I("Checking", "n2")},
+		},
+		{
+			Name:   "WC",
+			Reads:  []Item{I("Account", "n"), I("Saving", "n"), I("Checking", "n")},
+			Writes: []Item{I("Checking", "n")},
+		},
+	}
+}
+
+// tpccBase returns the standard TPC-C programs (thesis §2.8.1, Figure 2.8),
+// with the Delivery transaction split into DLVY1 (no order waiting) and
+// DLVY2 as Fekete et al. do. Expected analysis: no dangerous structure —
+// every execution under SI is serializable.
+func tpccBase() []*Program {
+	newOrder := &Program{
+		Name: "NEWO",
+		Reads: []Item{
+			I("DistrictNext", "w", "d"),
+			I("CustomerInfo", "w", "d", "c"),
+			I("CustomerCredit", "w", "d", "c"),
+			I("Item", "i"),
+			I("StockQty", "w", "i"),
+		},
+		Writes: []Item{
+			I("DistrictNext", "w", "d"),
+			I("StockQty", "w", "i"),
+			// Inserts into Order/NewOrder/OrderLine affect predicate reads
+			// over the district's orders: modelled as set-item writes.
+			I("OrderSet", "w", "d"),
+			I("NewOrderSet", "w", "d"),
+			I("OrderLineSet", "w", "d"),
+		},
+	}
+	pay := &Program{
+		Name: "PAY",
+		Reads: []Item{
+			I("WarehouseYTD", "w"),
+			I("DistrictYTD", "w", "d"),
+			I("CustomerBal", "w", "d", "c"),
+		},
+		Writes: []Item{
+			I("WarehouseYTD", "w"),
+			I("DistrictYTD", "w", "d"),
+			I("CustomerBal", "w", "d", "c"),
+		},
+	}
+	ostat := &Program{
+		Name: "OSTAT",
+		Reads: []Item{
+			I("CustomerBal", "w", "d", "c"),
+			I("OrderSet", "w", "d"),
+			I("OrderLineSet", "w", "d"),
+		},
+	}
+	dlvy1 := &Program{
+		Name:  "DLVY1",
+		Reads: []Item{I("NewOrderSet", "w", "d")},
+	}
+	dlvy2 := &Program{
+		Name: "DLVY2",
+		Reads: []Item{
+			I("NewOrderSet", "w", "d"),
+			I("OrderSet", "w", "d"),
+			I("OrderLineSet", "w", "d"),
+			I("CustomerBal", "w", "d", "c"),
+		},
+		Writes: []Item{
+			I("NewOrderSet", "w", "d"), // deletes the delivered NewOrder row
+			I("OrderSet", "w", "d"),    // sets the carrier
+			I("OrderLineSet", "w", "d"),
+			I("CustomerBal", "w", "d", "c"),
+		},
+	}
+	slev := &Program{
+		Name: "SLEV",
+		Reads: []Item{
+			I("DistrictNext", "w", "d"),
+			I("OrderLineSet", "w", "d"),
+			I("StockQty", "w", "i"),
+		},
+	}
+	return []*Program{newOrder, pay, ostat, dlvy1, dlvy2, slev}
+}
+
+// TPCC returns the standard TPC-C program set.
+func TPCC() []*Program { return tpccBase() }
+
+// TPCCPP returns the TPC-C++ program set: TPC-C plus the Credit Check
+// transaction (thesis §5.3.2). Expected analysis (Figure 5.3): two pivots,
+// NEWO and CCHECK — the simplest dangerous cycle is
+// CCHECK ~> NEWO ~> CCHECK (Credit Check misses a concurrent order's
+// NewOrder rows; New Order misses the concurrent credit status update).
+func TPCCPP() []*Program {
+	progs := tpccBase()
+	cc := &Program{
+		Name: "CCHECK",
+		Reads: []Item{
+			I("CustomerBal", "w", "d", "c"),
+			I("NewOrderSet", "w", "d"),
+			I("OrderSet", "w", "d"),
+			I("OrderLineSet", "w", "d"),
+		},
+		Writes: []Item{I("CustomerCredit", "w", "d", "c")},
+	}
+	return append(progs, cc)
+}

@@ -1,0 +1,416 @@
+// Package sdg implements Static Dependency Graph analysis (thesis Chapter 2,
+// after Fekete et al. 2005): given a set of parameterised transaction
+// programs with declared read and write sets, it derives the conflict edges
+// between programs, determines which rw-antidependency edges are *vulnerable*
+// (can occur between concurrent transactions, i.e. are not covered by a
+// write-write conflict under the same parameter assignment), and searches
+// for *dangerous structures* — two consecutive vulnerable edges on a cycle —
+// whose absence proves an application serializable under plain SI
+// (Theorem 3).
+//
+// It also implements the two program transformations the thesis describes
+// for breaking dangerous structures: Materialize (update a dedicated
+// conflict row in both programs) and Promote (identity write of the item
+// read), so the SmallBank options of §2.8.5 (MaterializeWT, PromoteWT,
+// MaterializeBW, PromoteBW) can be analysed mechanically.
+//
+// Items are parameterised by variables ("Saving(n)"); predicate reads and
+// the inserts/deletes that could change their result are modelled as
+// accesses to a partition-level set item (e.g. "NewOrderSet(w,d)"), the same
+// granularity Fekete et al. use for TPC-C.
+package sdg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Item is one parameterised data item: a class plus variable arguments,
+// e.g. Item{Class: "Saving", Vars: []string{"n1"}}. Two items from different
+// programs conflict when their classes match and some assignment of program
+// variables to concrete values makes their arguments equal.
+type Item struct {
+	Class string
+	Vars  []string
+}
+
+// I is shorthand for constructing an Item.
+func I(class string, vars ...string) Item { return Item{Class: class, Vars: vars} }
+
+func (it Item) String() string {
+	return fmt.Sprintf("%s(%s)", it.Class, strings.Join(it.Vars, ","))
+}
+
+// Program is one transaction program with declared read and write sets.
+type Program struct {
+	Name   string
+	Reads  []Item
+	Writes []Item
+}
+
+// ReadOnly reports whether the program performs no writes (a query).
+func (p *Program) ReadOnly() bool { return len(p.Writes) == 0 }
+
+func (p *Program) vars() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, items := range [][]Item{p.Reads, p.Writes} {
+		for _, it := range items {
+			for _, v := range it.Vars {
+				if !seen[v] {
+					seen[v] = true
+					out = append(out, v)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Edge is one directed SDG edge between programs.
+type Edge struct {
+	From, To string
+	// Kinds present on this edge under at least one assignment.
+	WW, WR, RW bool
+	// Vulnerable: an rw-antidependency that can occur between concurrent
+	// transactions — there is an assignment with a read-write conflict and
+	// no write-write conflict (which would force FCW serialisation).
+	Vulnerable bool
+}
+
+// Graph is the static dependency graph of a set of programs.
+type Graph struct {
+	Programs []*Program
+	byName   map[string]*Program
+	edges    map[[2]string]*Edge
+}
+
+// New builds the SDG for the given programs, evaluating conflicts over all
+// assignments of the two programs' variables (a universe of size
+// |vars(P)|+|vars(Q)| suffices to realise every equality pattern).
+func New(programs ...*Program) *Graph {
+	g := &Graph{byName: map[string]*Program{}, edges: map[[2]string]*Edge{}}
+	for _, p := range programs {
+		g.Programs = append(g.Programs, p)
+		g.byName[p.Name] = p
+	}
+	for _, p := range programs {
+		for _, q := range programs {
+			g.analyze(p, q)
+		}
+	}
+	return g
+}
+
+// classPairExists reports whether some item of as shares a class with some
+// item of bs. Program variables are unconstrained, so any same-class pair
+// can denote the same concrete item under some parameter assignment — class
+// intersection is exactly conflict existence.
+func classPairExists(as, bs []Item) bool {
+	classes := map[string]bool{}
+	for _, a := range as {
+		classes[a.Class] = true
+	}
+	for _, b := range bs {
+		if classes[b.Class] {
+			return true
+		}
+	}
+	return false
+}
+
+// unionFind is a tiny union-find over variable names.
+type unionFind map[string]string
+
+func (u unionFind) find(v string) string {
+	r, ok := u[v]
+	if !ok || r == v {
+		u[v] = v
+		return v
+	}
+	root := u.find(r)
+	u[v] = root
+	return root
+}
+
+func (u unionFind) union(a, b string) { u[u.find(a)] = u.find(b) }
+
+// vulnerableEdge decides whether the rw edge p→q is vulnerable: there exist
+// a read r of p and a write w of q on the same class such that equating
+// their parameters does NOT force a write-write conflict between p and q.
+// (If every such unification forces a ww conflict, First-Committer-Wins
+// serialises the pair whenever the rw conflict exists, so the edge cannot
+// occur between concurrent transactions — the WC→Amg situation of §2.8.4.)
+func vulnerableEdge(p, q *Program) bool {
+	for _, r := range p.Reads {
+		for _, w := range q.Writes {
+			if r.Class != w.Class || len(r.Vars) != len(w.Vars) {
+				continue
+			}
+			u := unionFind{}
+			for i := range r.Vars {
+				u.union(r.Vars[i], w.Vars[i])
+			}
+			if !forcedWW(p.Writes, q.Writes, u) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// forcedWW reports whether the variable equalities in u force some
+// write-write conflict between the two write sets: a same-class pair whose
+// corresponding variables are all already equated. Unforced pairs can be
+// made distinct by choosing different parameter values.
+func forcedWW(pw, qw []Item, u unionFind) bool {
+	for _, a := range pw {
+		for _, b := range qw {
+			if a.Class != b.Class || len(a.Vars) != len(b.Vars) {
+				continue
+			}
+			forced := true
+			for i := range a.Vars {
+				if u.find(a.Vars[i]) != u.find(b.Vars[i]) {
+					forced = false
+					break
+				}
+			}
+			if forced {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (g *Graph) analyze(p, q *Program) {
+	if p == q {
+		// Self edges: a program conflicting with another instance of
+		// itself. Distinct instances have independent parameters, so we
+		// analyse a renamed copy.
+		q = renamed(p)
+	}
+	ww := classPairExists(p.Writes, q.Writes)
+	wr := classPairExists(p.Writes, q.Reads)
+	rw := classPairExists(p.Reads, q.Writes)
+	if !(ww || wr || rw) {
+		return
+	}
+	key := [2]string{g.nameOf(p), strings.TrimSuffix(q.Name, "'")}
+	g.edges[key] = &Edge{
+		From: key[0], To: key[1],
+		WW: ww, WR: wr, RW: rw,
+		Vulnerable: rw && vulnerableEdge(p, q),
+	}
+}
+
+func (g *Graph) nameOf(p *Program) string { return strings.TrimSuffix(p.Name, "'") }
+
+func renamed(p *Program) *Program {
+	ren := func(items []Item) []Item {
+		out := make([]Item, len(items))
+		for i, it := range items {
+			vs := make([]string, len(it.Vars))
+			for j, v := range it.Vars {
+				vs[j] = v + "'"
+			}
+			out[i] = Item{Class: it.Class, Vars: vs}
+		}
+		return out
+	}
+	return &Program{Name: p.Name + "'", Reads: ren(p.Reads), Writes: ren(p.Writes)}
+}
+
+// Edge returns the edge from one program to another, or nil.
+func (g *Graph) Edge(from, to string) *Edge { return g.edges[[2]string{from, to}] }
+
+// Vulnerable reports whether the from→to edge is a vulnerable
+// rw-antidependency.
+func (g *Graph) Vulnerable(from, to string) bool {
+	e := g.Edge(from, to)
+	return e != nil && e.Vulnerable
+}
+
+// Edges returns all edges sorted for deterministic output.
+func (g *Graph) Edges() []Edge {
+	var out []Edge
+	for _, e := range g.edges {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// Dangerous is one dangerous structure: vulnerable edges In→Pivot→Out with
+// Out = In or a path from Out back to In (Definition 1 of the thesis).
+type Dangerous struct {
+	In, Pivot, Out string
+}
+
+// reachable computes the reflexive transitive closure over all edges.
+func (g *Graph) reachable() map[string]map[string]bool {
+	r := map[string]map[string]bool{}
+	for _, p := range g.Programs {
+		r[p.Name] = map[string]bool{p.Name: true}
+	}
+	for key := range g.edges {
+		r[key[0]][key[1]] = true
+	}
+	for _, k := range g.Programs {
+		for _, i := range g.Programs {
+			if !r[i.Name][k.Name] {
+				continue
+			}
+			for _, j := range g.Programs {
+				if r[k.Name][j.Name] {
+					r[i.Name][j.Name] = true
+				}
+			}
+		}
+	}
+	return r
+}
+
+// DangerousStructures returns every dangerous structure in the graph. An
+// empty result proves (Theorem 3) that all executions of the programs under
+// snapshot isolation are serializable.
+func (g *Graph) DangerousStructures() []Dangerous {
+	reach := g.reachable()
+	var out []Dangerous
+	for _, pivot := range g.Programs {
+		for _, in := range g.Programs {
+			if !g.Vulnerable(in.Name, pivot.Name) {
+				continue
+			}
+			for _, outp := range g.Programs {
+				if !g.Vulnerable(pivot.Name, outp.Name) {
+					continue
+				}
+				if outp.Name == in.Name || reach[outp.Name][in.Name] {
+					out = append(out, Dangerous{In: in.Name, Pivot: pivot.Name, Out: outp.Name})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pivot != b.Pivot {
+			return a.Pivot < b.Pivot
+		}
+		if a.In != b.In {
+			return a.In < b.In
+		}
+		return a.Out < b.Out
+	})
+	return out
+}
+
+// Pivots returns the distinct pivot programs of all dangerous structures —
+// the transactions that must be fixed (or run at S2PL, per Fekete 2005) to
+// make the application serializable under SI.
+func (g *Graph) Pivots() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, d := range g.DangerousStructures() {
+		if !seen[d.Pivot] {
+			seen[d.Pivot] = true
+			out = append(out, d.Pivot)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Serializable reports whether every execution of the programs under SI is
+// serializable (no dangerous structure).
+func (g *Graph) Serializable() bool { return len(g.DangerousStructures()) == 0 }
+
+// String renders the graph in a compact adjacency form, vulnerable edges
+// marked "~>" as the thesis draws them dashed.
+func (g *Graph) String() string {
+	var b strings.Builder
+	for _, e := range g.Edges() {
+		arrow := "->"
+		if e.Vulnerable {
+			arrow = "~>"
+		}
+		kinds := ""
+		if e.WW {
+			kinds += "w"
+		}
+		if e.WR {
+			kinds += "r"
+		}
+		if e.RW {
+			kinds += "a"
+		}
+		fmt.Fprintf(&b, "%s %s %s [%s]\n", e.From, arrow, e.To, kinds)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Transformations (thesis §2.6.1, §2.6.2)
+
+func clone(p *Program) *Program {
+	cp := &Program{Name: p.Name}
+	cp.Reads = append([]Item(nil), p.Reads...)
+	cp.Writes = append([]Item(nil), p.Writes...)
+	return cp
+}
+
+// cloneAll copies programs, returning the list and a by-name index.
+func cloneAll(programs []*Program) ([]*Program, map[string]*Program) {
+	out := make([]*Program, len(programs))
+	idx := map[string]*Program{}
+	for i, p := range programs {
+		out[i] = clone(p)
+		idx[p.Name] = out[i]
+	}
+	return out, idx
+}
+
+// Materialize eliminates the vulnerable from→to edge by materialising the
+// conflict (§2.6.1): both programs gain an update to a dedicated Conflict
+// row keyed by the variables of the conflicting item, so that whenever the
+// rw-conflict could occur, a ww-conflict occurs too and First-Committer-Wins
+// serialises the pair. It returns the transformed graph.
+func Materialize(g *Graph, from, to string) *Graph {
+	programs, idx := cloneAll(g.Programs)
+	pf, pt := idx[from], idx[to]
+	for _, r := range pf.Reads {
+		for _, w := range pt.Writes {
+			if r.Class != w.Class {
+				continue
+			}
+			pf.Writes = append(pf.Writes, Item{Class: "Conflict_" + r.Class, Vars: r.Vars})
+			pt.Writes = append(pt.Writes, Item{Class: "Conflict_" + w.Class, Vars: w.Vars})
+		}
+	}
+	return New(programs...)
+}
+
+// Promote eliminates the vulnerable from→to edge by promotion (§2.6.2): the
+// reading program gains an identity write of each item it reads that the
+// other program writes. Only the reader changes.
+func Promote(g *Graph, from, to string) *Graph {
+	programs, idx := cloneAll(g.Programs)
+	pf, pt := idx[from], idx[to]
+	writeClasses := map[string]bool{}
+	for _, w := range pt.Writes {
+		writeClasses[w.Class] = true
+	}
+	for _, r := range pf.Reads {
+		if writeClasses[r.Class] {
+			pf.Writes = append(pf.Writes, r)
+		}
+	}
+	return New(programs...)
+}

@@ -1,0 +1,81 @@
+package wal
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNoFlushMode(t *testing.T) {
+	l := NewLog(0)
+	lsn := l.Append(100)
+	start := time.Now()
+	l.Flush(lsn)
+	if time.Since(start) > 10*time.Millisecond {
+		t.Fatal("zero-latency flush slept")
+	}
+	st := l.StatsSnapshot()
+	if st.BytesAppended != 100 || st.Flushes != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLSNsMonotonic(t *testing.T) {
+	l := NewLog(0)
+	prev := LSN(0)
+	for i := 0; i < 100; i++ {
+		lsn := l.Append(1)
+		if lsn <= prev {
+			t.Fatalf("LSN %d after %d", lsn, prev)
+		}
+		prev = lsn
+	}
+}
+
+func TestFlushWaitsForDurability(t *testing.T) {
+	const lat = 20 * time.Millisecond
+	l := NewLog(lat)
+	lsn := l.Append(10)
+	start := time.Now()
+	l.Flush(lsn)
+	if d := time.Since(start); d < lat {
+		t.Fatalf("flush returned after %v, latency is %v", d, lat)
+	}
+	if st := l.StatsSnapshot(); st.DurableLSN < lsn {
+		t.Fatalf("DurableLSN = %d < %d", st.DurableLSN, lsn)
+	}
+	// Re-flushing a durable LSN returns immediately.
+	start = time.Now()
+	l.Flush(lsn)
+	if time.Since(start) > lat/2 {
+		t.Fatal("flush of durable LSN slept")
+	}
+}
+
+// TestGroupCommit checks the core property behind Figures 6.2-6.5: many
+// concurrent committers share physical flushes, so total flush count is far
+// below the committer count.
+func TestGroupCommit(t *testing.T) {
+	const lat = 10 * time.Millisecond
+	const committers = 64
+	l := NewLog(lat)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < committers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lsn := l.Append(10)
+			l.Flush(lsn)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	st := l.StatsSnapshot()
+	if st.Flushes >= committers/2 {
+		t.Fatalf("group commit ineffective: %d flushes for %d committers", st.Flushes, committers)
+	}
+	if elapsed > time.Duration(committers)*lat/4 {
+		t.Fatalf("commits serialized: %v elapsed", elapsed)
+	}
+}

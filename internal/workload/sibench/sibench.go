@@ -1,0 +1,120 @@
+// Package sibench implements the paper's snapshot-isolation
+// microbenchmark (thesis §5.2): one table of I rows; the query transaction
+// scans all rows and returns the id with the smallest value, the update
+// transaction increments one uniformly chosen row. A single read-write
+// conflict edge, no possible deadlock or write skew — designed to isolate
+// the cost of read-write conflict handling: blocking under S2PL, nothing
+// under SI, SIREAD bookkeeping under Serializable SI.
+package sibench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ssi/internal/harness"
+	"ssi/ssidb"
+)
+
+// Table is the benchmark's single table ("sitest" in the paper's SQL).
+const Table = "sitest"
+
+// Config sizes the benchmark.
+type Config struct {
+	// Items is the row count I — the paper sweeps 10, 100 and 1000
+	// (Figures 6.6-6.11).
+	Items int
+	// QueriesPerUpdate sets the mix: 1 is the mixed workload
+	// (Figures 6.6-6.8), 10 the query-mostly workload (Figures 6.9-6.11).
+	QueriesPerUpdate int
+}
+
+func key(id int) []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], uint32(id))
+	return b[:]
+}
+
+func val(v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+// Load populates the table with Items rows, value 0.
+func Load(db *ssidb.DB, cfg Config) error {
+	return db.Run(ssidb.SnapshotIsolation, func(tx *ssidb.Txn) error {
+		for i := 0; i < cfg.Items; i++ {
+			if err := tx.Put(Table, key(i), val(0)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Query returns the id with the smallest value — the SQL
+// `SELECT id FROM sitest ORDER BY value ASC LIMIT 1`: every row is read and
+// compared, the result is one id.
+func Query(tx *ssidb.Txn) (uint32, error) {
+	best := uint64(math.MaxUint64)
+	var bestID uint32
+	err := tx.Scan(Table, nil, nil, func(k, v []byte) bool {
+		if x := binary.BigEndian.Uint64(v); x < best {
+			best = x
+			bestID = binary.BigEndian.Uint32(k)
+		}
+		return true
+	})
+	return bestID, err
+}
+
+// Update increments the value of row id — the SQL
+// `UPDATE sitest SET value = value + 1 WHERE id = :id`, a locking
+// read-modify-write. With the deferred-snapshot optimisation (§4.5) a
+// single-statement update never aborts under First-Committer-Wins; writers
+// to the same row block on the row lock, matching the paper's observation
+// that sibench updates block but do not abort.
+func Update(tx *ssidb.Txn, id uint32) error {
+	v, ok, err := tx.GetForUpdate(Table, key(int(id)))
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("sibench: row %d missing", id)
+	}
+	return tx.Put(Table, key(int(id)), val(binary.BigEndian.Uint64(v)+1))
+}
+
+// Worker returns the mixed workload: out of QueriesPerUpdate+1 transactions,
+// QueriesPerUpdate are queries and one is an update, chosen randomly.
+func Worker(db *ssidb.DB, iso ssidb.Isolation, cfg Config) harness.TxnFunc {
+	q := cfg.QueriesPerUpdate
+	if q <= 0 {
+		q = 1
+	}
+	return func(r *rand.Rand) error {
+		return db.Run(iso, func(tx *ssidb.Txn) error {
+			if r.Intn(q+1) < q {
+				_, err := Query(tx)
+				return err
+			}
+			return Update(tx, uint32(r.Intn(cfg.Items)))
+		})
+	}
+}
+
+// TotalIncrements sums all row values; it equals the number of committed
+// update transactions, the invariant the integration tests check.
+func TotalIncrements(db *ssidb.DB) (uint64, error) {
+	var total uint64
+	err := db.Run(ssidb.SnapshotIsolation, func(tx *ssidb.Txn) error {
+		total = 0
+		return tx.Scan(Table, nil, nil, func(k, v []byte) bool {
+			total += binary.BigEndian.Uint64(v)
+			return true
+		})
+	})
+	return total, err
+}

@@ -1,0 +1,107 @@
+package sibench
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"ssi/internal/harness"
+	"ssi/ssidb"
+)
+
+func TestQueryFindsMinimum(t *testing.T) {
+	db := ssidb.Open(ssidb.Options{})
+	cfg := Config{Items: 10}
+	if err := Load(db, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Bump every row except #7 so it stays the minimum.
+	for i := 0; i < 10; i++ {
+		if i == 7 {
+			continue
+		}
+		if err := db.Run(ssidb.SnapshotIsolation, func(tx *ssidb.Txn) error {
+			return Update(tx, uint32(i))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var min uint32
+	if err := db.Run(ssidb.SerializableSI, func(tx *ssidb.Txn) error {
+		var err error
+		min, err = Query(tx)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if min != 7 {
+		t.Fatalf("min id = %d, want 7", min)
+	}
+}
+
+// TestNoAbortsExpected verifies the paper's claim for sibench (§5.2):
+// updates block on write conflicts but never abort, deadlock or write-skew,
+// at any isolation level, thanks to the deferred-snapshot optimisation.
+func TestNoAbortsExpected(t *testing.T) {
+	for _, iso := range []ssidb.Isolation{ssidb.SnapshotIsolation, ssidb.SerializableSI, ssidb.S2PL} {
+		db := ssidb.Open(ssidb.Options{Detector: ssidb.DetectorPrecise})
+		cfg := Config{Items: 10, QueriesPerUpdate: 1}
+		if err := Load(db, cfg); err != nil {
+			t.Fatal(err)
+		}
+		res := harness.Run(Worker(db, iso, cfg), harness.Options{MPL: 8, Duration: 100 * time.Millisecond})
+		if res.Commits == 0 {
+			t.Fatalf("%v: no commits", iso)
+		}
+		if res.Conflicts != 0 || res.Deadlocks != 0 {
+			t.Fatalf("%v: conflicts=%d deadlocks=%d, want 0 (thesis §5.2)", iso, res.Conflicts, res.Deadlocks)
+		}
+		if iso == ssidb.SnapshotIsolation && res.Unsafe != 0 {
+			t.Fatalf("SI reported unsafe aborts")
+		}
+	}
+}
+
+// TestIncrementsNeverLost checks update atomicity under concurrency: the sum
+// of all values equals the number of committed updates.
+func TestIncrementsNeverLost(t *testing.T) {
+	for _, iso := range []ssidb.Isolation{ssidb.SnapshotIsolation, ssidb.SerializableSI, ssidb.S2PL} {
+		db := ssidb.Open(ssidb.Options{})
+		cfg := Config{Items: 5}
+		if err := Load(db, cfg); err != nil {
+			t.Fatal(err)
+		}
+		const workers, each = 8, 50
+		var committed sync.Map
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				n := 0
+				for i := 0; i < each; i++ {
+					err := db.RunRetry(iso, func(tx *ssidb.Txn) error {
+						return Update(tx, uint32((w+i)%cfg.Items))
+					})
+					if err == nil {
+						n++
+					}
+				}
+				committed.Store(w, n)
+			}(w)
+		}
+		wg.Wait()
+		want := uint64(0)
+		committed.Range(func(_, v any) bool {
+			want += uint64(v.(int))
+			return true
+		})
+		got, err := TotalIncrements(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("%v: %d increments recorded, %d committed (lost updates?)", iso, got, want)
+		}
+	}
+}

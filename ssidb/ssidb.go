@@ -1,0 +1,303 @@
+// Package ssidb is an embedded multiversion key-value database implementing
+// the concurrency control algorithms studied in Cahill, Fekete and Röhm,
+// "Serializable Isolation for Snapshot Databases" (SIGMOD 2008 / Cahill's
+// 2009 thesis):
+//
+//   - S2PL: classical strict two-phase locking serializability,
+//   - SnapshotIsolation: multiversion SI with the First-Committer-Wins rule,
+//   - SerializableSI: the paper's contribution — SI plus SIREAD locks and
+//     rw-antidependency tracking, which aborts transactions that could form
+//     the "dangerous structure" present in every non-serializable SI
+//     execution, yielding true serializability with non-blocking reads.
+//
+// Isolation levels are chosen per transaction and may be mixed (thesis
+// §2.6.3, §3.8). Two lock/versioning granularities reproduce the paper's two
+// prototypes: GranularityRow models InnoDB (row locks plus next-key gap
+// locks, which detect phantoms per thesis §3.5) and GranularityPage models
+// Berkeley DB (page-level locks and page-level First-Committer-Wins, whose
+// coarseness is the source of the false positives analysed in §6.1.5).
+//
+// Typical use:
+//
+//	db := ssidb.Open(ssidb.Options{})
+//	err := db.Run(ssidb.SerializableSI, func(tx *ssidb.Txn) error {
+//		v, _, err := tx.Get("accounts", []byte("alice"))
+//		if err != nil {
+//			return err
+//		}
+//		return tx.Put("accounts", []byte("alice"), newBalance(v))
+//	})
+//
+// Errors ErrUnsafe, ErrWriteConflict and ErrDeadlock mean the transaction
+// was aborted and should be retried by the application.
+package ssidb
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ssi/internal/core"
+	"ssi/internal/lock"
+	"ssi/internal/mvcc"
+	"ssi/internal/wal"
+)
+
+// Isolation selects a transaction's concurrency control algorithm.
+type Isolation = core.Isolation
+
+// Isolation levels.
+const (
+	SnapshotIsolation = core.SnapshotIsolation
+	SerializableSI    = core.SerializableSI
+	S2PL              = core.S2PL
+)
+
+// Detector selects the SSI conflict detector variant.
+type Detector = core.Detector
+
+// Detector variants (thesis §3.2 vs §3.6).
+const (
+	DetectorBasic   = core.DetectorBasic
+	DetectorPrecise = core.DetectorPrecise
+)
+
+// Granularity selects the locking and conflict-detection granularity.
+type Granularity int
+
+const (
+	// GranularityRow locks individual rows and the gaps between them, as
+	// the InnoDB prototype does (thesis §4.6).
+	GranularityRow Granularity = iota
+	// GranularityPage locks whole B+tree pages and applies
+	// First-Committer-Wins per page, as the Berkeley DB prototype does
+	// (thesis §4.2-§4.3).
+	GranularityPage
+)
+
+// Abort-class errors. A transaction returning one of these has already been
+// rolled back; callers typically retry.
+var (
+	ErrUnsafe        = core.ErrUnsafe
+	ErrWriteConflict = core.ErrWriteConflict
+	ErrDeadlock      = core.ErrDeadlock
+	ErrTxnDone       = core.ErrTxnDone
+	// ErrKeyExists reports an Insert of a key that is already visibly
+	// present. It does not abort the transaction.
+	ErrKeyExists = errors.New("ssi: key already exists")
+)
+
+// IsAbort reports whether err is one of the abort-class errors after which
+// the transaction has been rolled back and may be retried.
+func IsAbort(err error) bool {
+	return errors.Is(err, ErrUnsafe) || errors.Is(err, ErrWriteConflict) || errors.Is(err, ErrDeadlock)
+}
+
+// Recorder receives the database's operation history. It exists so tests can
+// build the multiversion serialization graph of an execution and verify
+// serializability from the outside (the methodology of thesis §4.7). readTS
+// is the snapshot for snapshot reads, or the clock at read time for locking
+// reads; sawWriter is the transaction that created the version read (0 if
+// the key was absent). Implementations must be safe for concurrent use.
+type Recorder interface {
+	RecBegin(txn uint64, iso string)
+	RecRead(txn uint64, table, key string, sawWriter uint64, readTS uint64)
+	RecWrite(txn uint64, table, key string, tombstone bool)
+	RecScan(txn uint64, table, from, to string, readTS uint64)
+	RecCommit(txn uint64, commitTS uint64)
+	RecAbort(txn uint64)
+}
+
+// Options configures a DB.
+type Options struct {
+	// Detector selects the SSI variant; the default DetectorBasic is the
+	// boolean-flag algorithm, DetectorPrecise the §3.6 refinement.
+	Detector Detector
+	// Granularity selects row- or page-level locking. Default row.
+	Granularity Granularity
+	// PageMaxKeys is the default B+tree page capacity for tables created
+	// implicitly. Smaller pages increase page-mode contention. Default 64.
+	PageMaxKeys int
+	// FlushLatency is the simulated duration of one physical log flush at
+	// commit. Zero disables flushing (the Figure 6.1 configuration);
+	// non-zero enables group commit (Figures 6.2+).
+	FlushLatency time.Duration
+	// DisableSIReadUpgrade turns off the §3.7.3 optimisation that discards
+	// a transaction's SIREAD lock once it acquires EXCLUSIVE on the same
+	// key. Used by ablation benchmarks.
+	DisableSIReadUpgrade bool
+	// DisableEarlyAbort turns off the §3.7.1 optimisation that aborts an
+	// unsafe pivot at its next operation instead of waiting for commit.
+	DisableEarlyAbort bool
+	// Recorder, if set, receives the full operation history.
+	Recorder Recorder
+}
+
+type table struct {
+	name  string
+	data  *mvcc.Table
+	pages *mvcc.PageStamps
+}
+
+// DB is an embedded multiversion database. All methods are safe for
+// concurrent use.
+type DB struct {
+	opts  Options
+	mgr   *core.Manager
+	locks *lock.Manager
+	log   *wal.Log
+
+	tmu    sync.RWMutex
+	tables map[string]*table
+
+	cleanupBatches atomic.Uint64
+}
+
+// Open creates an empty database with the given options.
+func Open(opts Options) *DB {
+	if opts.PageMaxKeys <= 0 {
+		opts.PageMaxKeys = 64
+	}
+	db := &DB{
+		opts:   opts,
+		mgr:    core.NewManager(opts.Detector),
+		locks:  lock.NewManager(!opts.DisableSIReadUpgrade),
+		log:    wal.NewLog(opts.FlushLatency),
+		tables: make(map[string]*table),
+	}
+	return db
+}
+
+// CreateTable creates a table with an explicit page capacity (keys per
+// B+tree page). Creating an existing table is a no-op. Tables are also
+// created implicitly on first use with the default capacity.
+func (db *DB) CreateTable(name string, pageMaxKeys int) {
+	if pageMaxKeys <= 0 {
+		pageMaxKeys = db.opts.PageMaxKeys
+	}
+	db.tmu.Lock()
+	defer db.tmu.Unlock()
+	if _, ok := db.tables[name]; !ok {
+		db.tables[name] = db.newTable(name, pageMaxKeys)
+	}
+}
+
+func (db *DB) newTable(name string, pageMaxKeys int) *table {
+	tb := &table{
+		name:  name,
+		data:  mvcc.NewTable(name, pageMaxKeys, db.mgr.OldestActiveSnapshot),
+		pages: mvcc.NewPageStamps(),
+	}
+	if db.opts.Granularity == GranularityPage {
+		// Page splits move rows to a new page: readers' SIREAD coverage and
+		// the page-level First-Committer-Wins watermark must follow the
+		// moved rows (run under the table latch, atomic with the split).
+		tb.data.SetSplitHook(func(oldPage, newPage uint32) {
+			db.locks.InheritSIRead(lock.PageKey(name, oldPage), lock.PageKey(name, newPage))
+			tb.pages.InheritOnSplit(oldPage, newPage)
+		})
+	}
+	return tb
+}
+
+func (db *DB) table(name string) *table {
+	db.tmu.RLock()
+	tb := db.tables[name]
+	db.tmu.RUnlock()
+	if tb != nil {
+		return tb
+	}
+	db.tmu.Lock()
+	defer db.tmu.Unlock()
+	if tb = db.tables[name]; tb == nil {
+		tb = db.newTable(name, db.opts.PageMaxKeys)
+		db.tables[name] = tb
+	}
+	return tb
+}
+
+// Begin starts a transaction at the given isolation level. Per thesis §4.5
+// the read snapshot is assigned lazily, after the first statement's locks,
+// so single-statement updates never abort under First-Committer-Wins.
+func (db *DB) Begin(iso Isolation) *Txn {
+	t := db.mgr.Begin(iso)
+	if r := db.opts.Recorder; r != nil {
+		r.RecBegin(t.ID(), iso.String())
+	}
+	return &Txn{db: db, t: t}
+}
+
+// Run executes fn inside a transaction at the given isolation level,
+// committing on nil return and aborting otherwise. It does not retry; use
+// RunRetry for automatic retry of abort-class errors.
+func (db *DB) Run(iso Isolation, fn func(*Txn) error) error {
+	tx := db.Begin(iso)
+	if err := fn(tx); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+// RunRetry is Run plus automatic retry when the transaction aborts with an
+// abort-class error (unsafe, write conflict, deadlock), the standard
+// application response the paper assumes.
+func (db *DB) RunRetry(iso Isolation, fn func(*Txn) error) error {
+	for {
+		err := db.Run(iso, fn)
+		if err == nil || !IsAbort(err) {
+			return err
+		}
+	}
+}
+
+// afterCleanup releases the locks of suspended transactions retired by a
+// core sweep, and periodically prunes page write-stamps.
+func (db *DB) afterCleanup(cleaned []*core.Txn) {
+	if len(cleaned) == 0 {
+		return
+	}
+	for _, c := range cleaned {
+		db.locks.ReleaseAll(c)
+	}
+	if db.opts.Granularity == GranularityPage && db.cleanupBatches.Add(1)%64 == 0 {
+		h := db.mgr.OldestActiveSnapshot()
+		db.tmu.RLock()
+		for _, tb := range db.tables {
+			tb.pages.Prune(h)
+		}
+		db.tmu.RUnlock()
+	}
+}
+
+// Stats is a census of internal state, used by tests to verify that
+// suspended-transaction cleanup keeps bookkeeping bounded (thesis §4.6.1).
+type Stats struct {
+	ActiveTxns    int
+	SuspendedTxns int
+	LockedKeys    int
+	LockOwners    int
+	LogFlushes    uint64
+}
+
+// StatsSnapshot returns current counters.
+func (db *DB) StatsSnapshot() Stats {
+	cs := db.mgr.StatsSnapshot()
+	ls := db.locks.StatsSnapshot()
+	ws := db.log.StatsSnapshot()
+	return Stats{
+		ActiveTxns:    cs.Active,
+		SuspendedTxns: cs.Suspended,
+		LockedKeys:    ls.Keys,
+		LockOwners:    ls.Owners,
+		LogFlushes:    ws.Flushes,
+	}
+}
+
+// TableLen returns the number of distinct keys ever inserted into table.
+func (db *DB) TableLen(name string) int { return db.table(name).data.Len() }
+
+// TablePages returns the number of B+tree pages allocated for table —
+// useful for sizing page-granularity contention experiments.
+func (db *DB) TablePages(name string) int { return db.table(name).data.PageCount() }

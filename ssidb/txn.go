@@ -1,0 +1,812 @@
+package ssidb
+
+import (
+	"bytes"
+	"errors"
+	"math"
+
+	"ssi/internal/core"
+	"ssi/internal/lock"
+	"ssi/internal/mvcc"
+)
+
+// Txn is one transaction. A Txn is intended for use by a single goroutine.
+// After any abort-class error the transaction has been rolled back and every
+// further operation returns ErrTxnDone.
+type Txn struct {
+	db     *DB
+	t      *core.Txn
+	writes []writeRec
+	done   bool
+}
+
+type writeRec struct {
+	tb  *table
+	key string
+}
+
+// ID returns the transaction identifier.
+func (tx *Txn) ID() uint64 { return tx.t.ID() }
+
+// Isolation returns the level the transaction runs at.
+func (tx *Txn) Isolation() Isolation { return tx.t.Isolation() }
+
+// Snapshot returns the read timestamp, or 0 if no read has happened yet.
+func (tx *Txn) Snapshot() uint64 { return tx.t.Snapshot() }
+
+// pre guards every operation: it rejects finished transactions and applies
+// the abort-early optimisation of thesis §3.7.1 (an unsafe pivot aborts at
+// its next operation rather than at commit).
+func (tx *Txn) pre() error {
+	if tx.done {
+		return ErrTxnDone
+	}
+	if tx.t.Isolation().TracksConflicts() && !tx.db.opts.DisableEarlyAbort {
+		if err := tx.db.mgr.AbortEarly(tx.t); err != nil {
+			if errors.Is(err, ErrTxnDone) {
+				return err
+			}
+			return tx.fail(err)
+		}
+	} else if tx.t.Done() {
+		return ErrTxnDone
+	}
+	return nil
+}
+
+// fail rolls the transaction back and passes err through.
+func (tx *Txn) fail(err error) error {
+	tx.cleanupAbort()
+	return err
+}
+
+// cleanupAbort rolls back all writes, releases locks, retires the record.
+func (tx *Txn) cleanupAbort() {
+	if tx.done {
+		return
+	}
+	tx.done = true
+	for i := len(tx.writes) - 1; i >= 0; i-- {
+		w := tx.writes[i]
+		w.tb.data.Rollback(tx.t, []byte(w.key))
+	}
+	cleaned := tx.db.mgr.Abort(tx.t)
+	tx.db.locks.ReleaseAll(tx.t)
+	tx.db.afterCleanup(cleaned)
+	if r := tx.db.opts.Recorder; r != nil {
+		r.RecAbort(tx.t.ID())
+	}
+}
+
+// Abort rolls the transaction back. Aborting a finished transaction is a
+// no-op. The returned error is always nil; it exists for interface symmetry.
+func (tx *Txn) Abort() error {
+	tx.cleanupAbort()
+	return nil
+}
+
+// Commit commits the transaction: the dangerous-structure check and commit
+// timestamp assignment happen atomically (thesis Figures 3.2/3.10), the
+// commit log record is group-flushed, blocking locks are released only after
+// the flush (the ordering fix of thesis §4.4), and the record is suspended
+// if it must remain visible to future conflict detection (§3.3).
+func (tx *Txn) Commit() error {
+	if tx.done {
+		return ErrTxnDone
+	}
+	ct, err := tx.db.mgr.CommitPrepare(tx.t)
+	if err != nil {
+		if errors.Is(err, ErrUnsafe) {
+			tx.cleanupAbort()
+		}
+		return err
+	}
+	lsn := tx.db.log.Append(32 + 16*len(tx.writes))
+	tx.db.log.Flush(lsn)
+	tx.db.locks.ReleaseBlocking(tx.t)
+	keep := tx.t.Isolation().TracksConflicts() &&
+		(tx.db.locks.HoldsSIRead(tx.t) || tx.db.mgr.HasOutConflict(tx.t))
+	cleaned := tx.db.mgr.Finish(tx.t, keep)
+	tx.done = true
+	tx.db.afterCleanup(cleaned)
+	if r := tx.db.opts.Recorder; r != nil {
+		r.RecCommit(tx.t.ID(), ct)
+	}
+	return nil
+}
+
+// snapshot returns the transaction's read timestamp, assigning it now if
+// this is the first need for one (deferred snapshot, thesis §4.5).
+func (tx *Txn) snapshot() core.TS {
+	return tx.db.mgr.AssignSnapshot(tx.t)
+}
+
+// markAsReader records rw-edges from this transaction to each concurrent
+// writer (read path, Figure 3.4). Writers may be active lock holders or the
+// committed creators of versions newer than the one read.
+func (tx *Txn) markAsReader(writers []*core.Txn) error {
+	for _, w := range writers {
+		if !tx.t.ConcurrentWith(w) {
+			continue
+		}
+		if err := tx.db.mgr.MarkConflict(tx.t, w, tx.t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// markAsWriter records rw-edges from each concurrent reader (an SIREAD
+// holder, possibly already committed and suspended) to this transaction
+// (write path, Figure 3.5 — including the overlap filter).
+func (tx *Txn) markAsWriter(readers []*core.Txn) error {
+	for _, r := range readers {
+		if !tx.t.ConcurrentWith(r) {
+			continue
+		}
+		if err := tx.db.mgr.MarkConflict(r, tx.t, tx.t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recRead reports one key read to the recorder.
+func (tx *Txn) recRead(tb *table, key []byte, creator *core.Txn, readTS core.TS) {
+	r := tx.db.opts.Recorder
+	if r == nil {
+		return
+	}
+	var saw uint64
+	if creator != nil {
+		saw = creator.ID()
+	}
+	r.RecRead(tx.t.ID(), tb.name, string(key), saw, readTS)
+}
+
+// ---------------------------------------------------------------------------
+// Point reads
+
+// Get reads key from table. Under SI and SerializableSI it reads from the
+// transaction's snapshot; under S2PL it shared-locks and reads the latest
+// committed version. found is false if the key is absent (or deleted) in the
+// visible state.
+func (tx *Txn) Get(tableName string, key []byte) (val []byte, found bool, err error) {
+	if err := tx.pre(); err != nil {
+		return nil, false, err
+	}
+	tb := tx.db.table(tableName)
+	if tx.t.Isolation() == S2PL {
+		return tx.getS2PL(tb, key)
+	}
+	snap := tx.snapshot()
+	ssi := tx.t.Isolation().TracksConflicts()
+	if ssi {
+		if err := tx.ssiReadLocks(tb, key); err != nil {
+			return nil, false, tx.fail(err)
+		}
+	}
+	res := tb.data.Read(tx.t, snap, key)
+	if ssi {
+		writers := res.NewerWriters
+		if tx.db.opts.Granularity == GranularityPage {
+			writers = tb.pages.NewerWriters(tb.data.LeafPage(key), snap)
+		}
+		if err := tx.markAsReader(writers); err != nil {
+			return nil, false, tx.fail(err)
+		}
+	}
+	tx.recRead(tb, key, res.VisibleCreator, snap)
+	return res.Value, res.Found, nil
+}
+
+// ssiReadLocks takes the SIREAD locks for a point read and marks conflicts
+// with concurrent exclusive holders (Figure 3.4 lines 2-4). In page mode the
+// whole root-to-leaf path is read-locked, as Berkeley DB does while
+// descending — the source of the paper's split-induced false positives.
+func (tx *Txn) ssiReadLocks(tb *table, key []byte) error {
+	if tx.db.opts.Granularity == GranularityRow {
+		rivals, err := tx.db.locks.Acquire(tx.t, lock.RowKey(tb.name, key), lock.SIRead)
+		if err != nil {
+			return err
+		}
+		return tx.markAsReader(rivals)
+	}
+	for {
+		path := tb.data.PathPages(key)
+		for _, pg := range path {
+			rivals, err := tx.db.locks.Acquire(tx.t, lock.PageKey(tb.name, pg), lock.SIRead)
+			if err != nil {
+				return err
+			}
+			if err := tx.markAsReader(rivals); err != nil {
+				return err
+			}
+		}
+		if pagesEqual(path, tb.data.PathPages(key)) {
+			return nil
+		}
+	}
+}
+
+// getS2PL shared-locks the row (or the page path) and reads the latest
+// committed version.
+func (tx *Txn) getS2PL(tb *table, key []byte) ([]byte, bool, error) {
+	if tx.db.opts.Granularity == GranularityRow {
+		if _, err := tx.db.locks.Acquire(tx.t, lock.RowKey(tb.name, key), lock.Shared); err != nil {
+			return nil, false, tx.fail(err)
+		}
+	} else if err := tx.lockPagePathS2PL(tb, key, lock.Shared, false); err != nil {
+		return nil, false, tx.fail(err)
+	}
+	readTS := tx.db.mgr.Now()
+	val, found, creator := tb.data.ReadLatest(tx.t, key)
+	tx.recRead(tb, key, creator, readTS)
+	return val, found, nil
+}
+
+// GetForUpdate reads key with an exclusive lock, like SELECT ... FOR UPDATE.
+// Under SI/SerializableSI it applies First-Committer-Wins after acquiring
+// the lock and then reads the latest committed version; combined with the
+// deferred snapshot this means a transaction whose first statement is a
+// locked read never aborts under FCW (thesis §4.5).
+func (tx *Txn) GetForUpdate(tableName string, key []byte) (val []byte, found bool, err error) {
+	if err := tx.pre(); err != nil {
+		return nil, false, err
+	}
+	tb := tx.db.table(tableName)
+	if tx.t.Isolation() == S2PL {
+		if err := tx.s2plWriteLock(tb, key, false); err != nil {
+			return nil, false, tx.fail(err)
+		}
+		readTS := tx.db.mgr.Now()
+		v, ok, creator := tb.data.ReadLatest(tx.t, key)
+		tx.recRead(tb, key, creator, readTS)
+		return v, ok, nil
+	}
+	if _, err := tx.writeLockAndCheck(tb, key, false); err != nil {
+		return nil, false, err
+	}
+	readTS := tx.db.mgr.Now()
+	v, ok, creator := tb.data.ReadLatest(tx.t, key)
+	tx.recRead(tb, key, creator, readTS)
+	return v, ok, nil
+}
+
+// ---------------------------------------------------------------------------
+// Writes
+
+// Put writes key=val. If the key has never existed, Put follows the insert
+// protocol (gap locking) so that phantom detection covers upserts too.
+func (tx *Txn) Put(tableName string, key, val []byte) error {
+	return tx.write(tableName, key, val, false, false)
+}
+
+// Insert writes a new key, failing with ErrKeyExists (without aborting) if a
+// live version of the key is already visible.
+func (tx *Txn) Insert(tableName string, key, val []byte) error {
+	return tx.write(tableName, key, val, false, true)
+}
+
+// Delete removes key by installing a tombstone version. Deleting an absent
+// key is a no-op that still takes the insert-protocol locks.
+func (tx *Txn) Delete(tableName string, key []byte) error {
+	return tx.write(tableName, key, nil, true, false)
+}
+
+func (tx *Txn) write(tableName string, key, val []byte, tombstone, mustNotExist bool) error {
+	if err := tx.pre(); err != nil {
+		return err
+	}
+	tb := tx.db.table(tableName)
+	structural := tombstone || mustNotExist || !tb.data.Exists(key)
+
+	if tx.t.Isolation() == S2PL {
+		if structural && tx.db.opts.Granularity == GranularityRow {
+			if err := tx.gapLocks(tb, key, lock.Exclusive); err != nil {
+				return tx.fail(err)
+			}
+		}
+		if err := tx.s2plWriteLock(tb, key, structural); err != nil {
+			return tx.fail(err)
+		}
+	} else {
+		ssi := tx.t.Isolation().TracksConflicts()
+		if structural && ssi && tx.db.opts.Granularity == GranularityRow {
+			// Figure 3.7: inserts and deletes exclusively lock the gap
+			// before the next key and mark conflicts with SIREAD gap
+			// holders (concurrent predicate reads).
+			if err := tx.gapLocks(tb, key, lock.Exclusive); err != nil {
+				return tx.fail(err)
+			}
+		}
+		snap, err := tx.writeLockAndCheck(tb, key, structural)
+		if err != nil {
+			return err
+		}
+		if mustNotExist {
+			if res := tb.data.Read(tx.t, snap, key); res.Found {
+				return ErrKeyExists
+			}
+		}
+	}
+	if mustNotExist && tx.t.Isolation() == S2PL {
+		if _, ok, _ := tb.data.ReadLatest(tx.t, key); ok {
+			return ErrKeyExists
+		}
+	}
+
+	// On a structural insert, SIREAD gap locks covering the target gap are
+	// inherited onto the new key's gap under the table latch, atomically
+	// with the key becoming visible — otherwise a second insert into the
+	// now-split gap would escape the scanners' phantom detection.
+	var onInsert func(succ []byte, hasSucc bool)
+	if tx.db.opts.Granularity == GranularityRow {
+		onInsert = func(succ []byte, hasSucc bool) {
+			src := lock.SupremumGapKey(tb.name)
+			if hasSucc {
+				src = lock.GapKey(tb.name, succ)
+			}
+			tx.db.locks.InheritSIRead(src, lock.GapKey(tb.name, key))
+		}
+	}
+	inserted, _, _ := tb.data.Write(tx.t, key, val, tombstone, onInsert)
+	tx.writes = append(tx.writes, writeRec{tb: tb, key: string(key)})
+	if tx.db.opts.Granularity == GranularityPage {
+		tb.pages.AddWriter(tb.data.LeafPage(key), tx.t)
+	}
+	if inserted && tx.db.opts.Granularity == GranularityRow && tx.t.Isolation() != SnapshotIsolation {
+		// Re-acquire the gap now that the key is visible: the successor may
+		// have changed between planning and insertion, and inherited SIREAD
+		// holders on the true gap must be marked as conflicts.
+		if err := tx.gapLocks(tb, key, lock.Exclusive); err != nil {
+			return tx.fail(err)
+		}
+	}
+	if r := tx.db.opts.Recorder; r != nil {
+		r.RecWrite(tx.t.ID(), tb.name, string(key), tombstone)
+	}
+	return nil
+}
+
+// writeLockAndCheck acquires the exclusive lock(s) for writing key under
+// SI/SerializableSI, assigns the snapshot afterwards (deferred snapshot),
+// marks rw-conflicts with concurrent SIREAD holders, and applies the
+// First-Committer-Wins check. On failure the transaction is aborted.
+func (tx *Txn) writeLockAndCheck(tb *table, key []byte, structural bool) (core.TS, error) {
+	ssi := tx.t.Isolation().TracksConflicts()
+	var rivals []*core.Txn
+	var leaf uint32
+	if tx.db.opts.Granularity == GranularityRow {
+		var err error
+		rivals, err = tx.db.locks.Acquire(tx.t, lock.RowKey(tb.name, key), lock.Exclusive)
+		if err != nil {
+			return 0, tx.fail(err)
+		}
+	} else {
+		var err error
+		rivals, leaf, err = tx.lockPagePathWrite(tb, key, structural)
+		if err != nil {
+			return 0, tx.fail(err)
+		}
+	}
+	snap := tx.snapshot()
+	if ssi {
+		if err := tx.markAsWriter(rivals); err != nil {
+			return 0, tx.fail(err)
+		}
+	}
+	// First-Committer-Wins: abort if a version newer than our snapshot
+	// committed. In page mode the unit of versioning is the page.
+	var newest core.TS
+	if tx.db.opts.Granularity == GranularityPage {
+		newest = tb.pages.NewestCommitTS(leaf)
+	} else {
+		newest = tb.data.NewestCommitTS(key)
+	}
+	if newest > snap {
+		return 0, tx.fail(ErrWriteConflict)
+	}
+	return snap, nil
+}
+
+// gapLocks implements the next-key gap protocol of Figures 3.6/3.7 for the
+// writer side: lock the gap before the successor of key (or the supremum)
+// in the requested mode, looping until the successor is stable. For SSI the
+// rivals are SIREAD gap holders — concurrent predicate readers.
+func (tx *Txn) gapLocks(tb *table, key []byte, mode lock.Mode) error {
+	for {
+		succ, ok := tb.data.Successor(key)
+		gk := lock.SupremumGapKey(tb.name)
+		if ok {
+			gk = lock.GapKey(tb.name, succ)
+		}
+		rivals, err := tx.db.locks.Acquire(tx.t, gk, mode)
+		if err != nil {
+			return err
+		}
+		if mode == lock.Exclusive && tx.t.Isolation().TracksConflicts() {
+			if err := tx.markAsWriter(rivals); err != nil {
+				return err
+			}
+		}
+		succ2, ok2 := tb.data.Successor(key)
+		if ok == ok2 && (!ok || bytes.Equal(succ, succ2)) {
+			return nil
+		}
+	}
+}
+
+// lockPagePathWrite plans and acquires page locks for a write in page mode:
+// SIREAD (for SerializableSI) on interior pages, EXCLUSIVE on the leaf, and
+// EXCLUSIVE on the whole path when the write will split the leaf. The plan
+// is re-verified after acquisition because a concurrent split can move the
+// key; extra locks acquired under a stale plan are simply kept.
+func (tx *Txn) lockPagePathWrite(tb *table, key []byte, structural bool) (rivals []*core.Txn, leaf uint32, err error) {
+	ssi := tx.t.Isolation().TracksConflicts()
+	for {
+		path := tb.data.PathPages(key)
+		split := structural && tb.data.InsertWillSplit(key)
+		for i, pg := range path {
+			isLeaf := i == len(path)-1
+			switch {
+			case isLeaf || split:
+				rv, err := tx.db.locks.Acquire(tx.t, lock.PageKey(tb.name, pg), lock.Exclusive)
+				if err != nil {
+					return nil, 0, err
+				}
+				rivals = append(rivals, rv...)
+				if split && !isLeaf {
+					// The split will rewrite this interior page: stamp it
+					// so page-level FCW and newer-version checks see the
+					// structural write (the root-page conflicts of §6.1.5).
+					tb.pages.AddWriter(pg, tx.t)
+				}
+			case ssi:
+				rv, err := tx.db.locks.Acquire(tx.t, lock.PageKey(tb.name, pg), lock.SIRead)
+				if err != nil {
+					return nil, 0, err
+				}
+				if err := tx.markAsReader(rv); err != nil {
+					return nil, 0, err
+				}
+			}
+		}
+		path2 := tb.data.PathPages(key)
+		if pagesEqual(path, path2) && split == (structural && tb.data.InsertWillSplit(key)) {
+			return rivals, path[len(path)-1], nil
+		}
+	}
+}
+
+// s2plWriteLock acquires S2PL write locks: the row (or, in page mode,
+// shared interior pages and the exclusive leaf; the whole path exclusively
+// when splitting).
+func (tx *Txn) s2plWriteLock(tb *table, key []byte, structural bool) error {
+	if tx.db.opts.Granularity == GranularityRow {
+		_, err := tx.db.locks.Acquire(tx.t, lock.RowKey(tb.name, key), lock.Exclusive)
+		return err
+	}
+	return tx.lockPagePathS2PL(tb, key, lock.Exclusive, structural)
+}
+
+// lockPagePathS2PL locks a root-to-leaf path for S2PL: interior pages
+// Shared, the leaf in leafMode, everything Exclusive when a split is
+// planned.
+func (tx *Txn) lockPagePathS2PL(tb *table, key []byte, leafMode lock.Mode, structural bool) error {
+	for {
+		path := tb.data.PathPages(key)
+		split := structural && tb.data.InsertWillSplit(key)
+		for i, pg := range path {
+			mode := lock.Shared
+			if i == len(path)-1 {
+				mode = leafMode
+			}
+			if split && leafMode == lock.Exclusive {
+				mode = lock.Exclusive
+			}
+			if _, err := tx.db.locks.Acquire(tx.t, lock.PageKey(tb.name, pg), mode); err != nil {
+				return err
+			}
+		}
+		path2 := tb.data.PathPages(key)
+		if pagesEqual(path, path2) && split == (structural && tb.data.InsertWillSplit(key)) {
+			return nil
+		}
+	}
+}
+
+func pagesEqual(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Scans
+
+// Scan visits the live keys in [from, to) in ascending order, calling fn for
+// each until fn returns false. A nil `to` scans to the end of the table.
+// Key and value slices must not be modified or retained.
+//
+// Predicate protection follows the isolation level: S2PL takes shared row
+// and next-key gap locks (blocking inserts); SerializableSI takes SIREAD row
+// and gap locks so concurrent inserts/deletes are detected as rw-conflicts
+// (thesis §3.5); SI scans are lock-free and phantom-prone, as the paper
+// permits.
+func (tx *Txn) Scan(tableName string, from, to []byte, fn func(key, val []byte) bool) error {
+	return tx.scan(tableName, from, to, 0, fn)
+}
+
+// ScanLimit is Scan bounded to the first limit live keys. The next-key
+// protection covers exactly the scanned prefix plus the gap beyond the last
+// visited key, which is the correct predicate lock for order-dependent
+// queries such as "the minimum key in range" (TPC-C's Delivery picking the
+// oldest undelivered order): an insert below the stop point is detected (or
+// blocked), inserts beyond it cannot change the result.
+func (tx *Txn) ScanLimit(tableName string, from, to []byte, limit int, fn func(key, val []byte) bool) error {
+	if limit <= 0 {
+		limit = 1
+	}
+	return tx.scan(tableName, from, to, limit, fn)
+}
+
+func (tx *Txn) scan(tableName string, from, to []byte, limit int, fn func(key, val []byte) bool) error {
+	if err := tx.pre(); err != nil {
+		return err
+	}
+	tb := tx.db.table(tableName)
+	if from == nil {
+		from = []byte{}
+	}
+
+	var snap core.TS
+	if tx.t.Isolation() == S2PL {
+		snap = math.MaxUint64 // locking read: latest committed
+	} else {
+		snap = tx.snapshot()
+	}
+
+	items, err := tx.scanLockLoop(tb, snap, from, to, limit)
+	if err != nil {
+		return tx.fail(err)
+	}
+
+	if r := tx.db.opts.Recorder; r != nil {
+		effTo := string(to)
+		if limit > 0 {
+			effTo = items.effectiveTo
+		}
+		r.RecScan(tx.t.ID(), tb.name, string(from), effTo, tx.readStamp(snap))
+	}
+	for _, it := range items.items {
+		tx.recRead(tb, it.Key, it.VisibleCreator, tx.readStamp(snap))
+		if it.Found {
+			if !fn(it.Key, it.Value) {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// readStamp maps the scan snapshot to the recorder's readTS convention.
+func (tx *Txn) readStamp(snap core.TS) core.TS {
+	if snap == math.MaxUint64 {
+		return tx.db.mgr.Now()
+	}
+	return snap
+}
+
+// scanResult is the outcome of a locked collection pass.
+type scanResult struct {
+	items []mvcc.ScanItem
+	// effectiveTo is the exclusive upper bound the scan actually protected:
+	// `to` for full scans, the boundary key for limited scans, "" when the
+	// protection extends to the end of the table.
+	effectiveTo string
+}
+
+// scanLockLoop collects the range and acquires the per-key and per-gap (or
+// per-page) locks, repeating until a collection pass finds the lock set
+// already complete. The loop closes the window in which a row could be
+// inserted into the range after collection but before its gap was locked;
+// under S2PL the gap locks block such inserts, under SerializableSI they
+// guarantee detection.
+func (tx *Txn) scanLockLoop(tb *table, snap core.TS, from, to []byte, limit int) (collectResult, error) {
+	switch {
+	case tx.t.Isolation().TracksConflicts():
+		return tx.scanSSI(tb, snap, from, to, limit)
+	case tx.t.Isolation() == S2PL:
+		return tx.scanS2PL(tb, snap, from, to, limit)
+	default: // plain SI: lock-free snapshot scan
+		return collectRange(tb, tx.t, snap, from, to, limit), nil
+	}
+}
+
+// scanSSI collects the range and takes its SIREAD row/gap (or page) locks in
+// a single pass *under the table latch* — SIREAD acquisition never blocks,
+// and inserts need the write latch, so the range is protected atomically
+// with being read (no insert can slip between reading and locking). Conflict
+// marking is deferred to after the latch is released, because an unsafe
+// verdict aborts the transaction, which must not happen latched.
+func (tx *Txn) scanSSI(tb *table, snap core.TS, from, to []byte, limit int) (collectResult, error) {
+	pageMode := tx.db.opts.Granularity == GranularityPage
+
+	var res collectResult
+	res.effectiveTo = string(to)
+	var writers []*core.Txn // rw-conflict targets, marked post-latch
+	var lockKeys []lock.Key // SIREAD set, batch-acquired under the latch
+	pagesQueued := map[uint32]bool{}
+	if pageMode {
+		// The descent path's interior pages, as Berkeley DB read-locks them.
+		for _, pg := range tb.data.PathPages(from) {
+			lockKeys = append(lockKeys, lock.PageKey(tb.name, pg))
+			pagesQueued[pg] = true
+		}
+	}
+
+	found := 0
+	var lastFound []byte
+	queuePage := func(pg uint32) {
+		if !pagesQueued[pg] {
+			pagesQueued[pg] = true
+			lockKeys = append(lockKeys, lock.PageKey(tb.name, pg))
+			writers = append(writers, tb.pages.NewerWriters(pg, snap)...)
+		}
+	}
+	tb.data.ScanWith(tx.t, snap, from, func(it mvcc.ScanItem) bool {
+		pastEnd := len(to) > 0 && bytes.Compare(it.Key, to) >= 0
+		if pastEnd || (limit > 0 && found >= limit) {
+			res.boundaryKey = it.Key
+			res.boundaryPage = it.Page
+			if pageMode {
+				queuePage(it.Page)
+			} else {
+				lockKeys = append(lockKeys, lock.GapKey(tb.name, it.Key))
+			}
+			return false
+		}
+		if pageMode {
+			queuePage(it.Page)
+		} else {
+			lockKeys = append(lockKeys,
+				lock.RowKey(tb.name, it.Key), lock.GapKey(tb.name, it.Key))
+			writers = append(writers, it.NewerWriters...)
+		}
+		res.items = append(res.items, it)
+		if it.Found {
+			found++
+			lastFound = it.Key
+		}
+		return true
+	}, func(exhausted bool) {
+		if exhausted && !pageMode {
+			// The scan ran off the table end: protect the space beyond the
+			// last key too.
+			lockKeys = append(lockKeys, lock.SupremumGapKey(tb.name))
+		}
+		// One lock-table critical section for the whole scan, while the
+		// latch still excludes inserters.
+		writers = append(writers, tx.db.locks.AcquireSIReadBatch(tx.t, lockKeys)...)
+	})
+	if limit > 0 && found >= limit && lastFound != nil {
+		res.effectiveTo = string(lastFound) + "\x00"
+	}
+
+	if err := tx.markAsReader(writers); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// scanS2PL collects the range under blocking shared row and gap locks (or
+// shared page locks). Shared locks can block, so they cannot be taken under
+// the latch; instead collection and locking loop until a pass finds the lock
+// set already complete, which closes the collect-then-lock window.
+func (tx *Txn) scanS2PL(tb *table, snap core.TS, from, to []byte, limit int) (collectResult, error) {
+	pageMode := tx.db.opts.Granularity == GranularityPage
+	locked := make(map[lock.Key]bool)
+	for {
+		res := collectRange(tb, tx.t, snap, from, to, limit)
+		changed := false
+
+		acquire := func(k lock.Key) error {
+			if locked[k] {
+				return nil
+			}
+			if _, err := tx.db.locks.Acquire(tx.t, k, lock.Shared); err != nil {
+				return err
+			}
+			locked[k] = true
+			changed = true
+			return nil
+		}
+
+		if pageMode {
+			for _, pg := range tb.data.PathPages(from) {
+				if err := acquire(lock.PageKey(tb.name, pg)); err != nil {
+					return res, err
+				}
+			}
+			for _, it := range res.items {
+				if err := acquire(lock.PageKey(tb.name, it.Page)); err != nil {
+					return res, err
+				}
+			}
+			if res.boundaryPage != 0 {
+				if err := acquire(lock.PageKey(tb.name, res.boundaryPage)); err != nil {
+					return res, err
+				}
+			}
+		} else {
+			for _, it := range res.items {
+				if err := acquire(lock.RowKey(tb.name, it.Key)); err != nil {
+					return res, err
+				}
+				if err := acquire(lock.GapKey(tb.name, it.Key)); err != nil {
+					return res, err
+				}
+			}
+			boundary := lock.SupremumGapKey(tb.name)
+			if res.boundaryKey != nil {
+				boundary = lock.GapKey(tb.name, res.boundaryKey)
+			}
+			if err := acquire(boundary); err != nil {
+				return res, err
+			}
+		}
+
+		if !changed {
+			return res, nil
+		}
+	}
+}
+
+// collectResult extends scanResult with the gap boundary actually locked.
+type collectResult struct {
+	scanResult
+	boundaryKey  []byte // first key beyond the collection; nil = supremum
+	boundaryPage uint32
+}
+
+// collectRange gathers keys in [from, to) — including keys whose visible
+// state is absent, which still carry conflict information — plus the first
+// key at or beyond the range (the gap boundary), under the table latch. With
+// a positive limit, collection stops after `limit` visible items.
+//
+// effectiveTo is the *claimed* predicate range end (what the result actually
+// depends on), which the recorder reports; the locked boundary may extend
+// further, which is conservative for detection but must not widen the claim.
+func collectRange(tb *table, t *core.Txn, snap core.TS, from, to []byte, limit int) collectResult {
+	var res collectResult
+	res.effectiveTo = string(to)
+	found := 0
+	var lastFound []byte
+	tb.data.Scan(t, snap, from, func(it mvcc.ScanItem) bool {
+		pastEnd := len(to) > 0 && bytes.Compare(it.Key, to) >= 0
+		if pastEnd || (limit > 0 && found >= limit) {
+			res.boundaryKey = it.Key
+			res.boundaryPage = it.Page
+			return false
+		}
+		res.items = append(res.items, it)
+		if it.Found {
+			found++
+			lastFound = it.Key
+		}
+		return true
+	})
+	if limit > 0 && found >= limit && lastFound != nil {
+		// The result depends only on [from, lastFound]: claim the smallest
+		// exclusive bound covering it.
+		res.effectiveTo = string(lastFound) + "\x00"
+	}
+	return res
+}
