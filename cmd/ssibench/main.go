@@ -11,6 +11,13 @@
 //	ssibench -paper-scale             # thesis data volumes (slow)
 //	ssibench -duration 2s -trials 3   # longer, with confidence intervals
 //	ssibench -mpl 1,10,50 -csv out.csv
+//	ssibench -scaling                 # shard-count × MPL scaling sweep
+//
+// The -scaling mode goes beyond the paper: it sweeps the lock-table shard
+// count (1 = the paper's single latch, up to GOMAXPROCS-scaled) against the
+// multiprogramming level on the low-conflict kvmix workload, showing how
+// the sharded concurrency-control core scales where the figure workloads
+// measure contention behaviour.
 package main
 
 import (
@@ -23,6 +30,8 @@ import (
 
 	"ssi/internal/figures"
 	"ssi/internal/harness"
+	"ssi/internal/workload/kvmix"
+	"ssi/ssidb"
 )
 
 func main() {
@@ -34,8 +43,28 @@ func main() {
 		mplList    = flag.String("mpl", "", "comma-separated MPL override (default: the paper's 1,2,3,5,10,20,50)")
 		paperScale = flag.Bool("paper-scale", false, "use the thesis data volumes (W=10 standard TPC-C etc.)")
 		csvPath    = flag.String("csv", "", "also write results as CSV to this file")
+		scaling    = flag.Bool("scaling", false, "run the lock-shard scaling sweep instead of the paper figures")
+		shardList  = flag.String("shards", "1,4,16,64", "comma-separated shard counts for -scaling")
 	)
 	flag.Parse()
+
+	if *scaling {
+		// The figure-selection flags have no meaning here; reject them
+		// loudly rather than run a long sweep that ignores them.
+		for _, f := range []string{"figure", "paper-scale"} {
+			if flagWasSet(f) {
+				fmt.Fprintf(os.Stderr, "ssibench: -%s does not apply to -scaling\n", f)
+				os.Exit(2)
+			}
+		}
+		runScaling(*shardList, *mplList, *duration, *warmup, *trials, openCSV(*csvPath))
+		return
+	}
+	if flagWasSet("shards") {
+		// Symmetric with the check above: -shards only drives -scaling.
+		fmt.Fprintln(os.Stderr, "ssibench: -shards requires -scaling")
+		os.Exit(2)
+	}
 
 	scale := figures.QuickScale()
 	if *paperScale {
@@ -56,30 +85,42 @@ func main() {
 		}
 	}
 
-	var mpls []int
-	if *mplList != "" {
-		for _, s := range strings.Split(*mplList, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(s))
-			if err != nil || n < 1 {
-				fmt.Fprintf(os.Stderr, "ssibench: bad mpl %q\n", s)
-				os.Exit(2)
-			}
-			mpls = append(mpls, n)
-		}
+	mpls := parseInts(*mplList, "mpl")
+
+	csv := openCSV(*csvPath)
+	if csv != nil {
+		defer csv.Close()
 	}
 
-	var csv *os.File
-	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "ssibench: %v\n", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		csv = f
-	}
+	runFigures(selected, mpls, *duration, *warmup, *trials, csv)
+}
 
-	opts := harness.Options{Duration: *duration, Warmup: *warmup, Trials: *trials, Seed: 1}
+// flagWasSet reports whether the named flag was given on the command line.
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// openCSV creates the CSV output file, or returns nil for the empty path.
+func openCSV(path string) *os.File {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ssibench: %v\n", err)
+		os.Exit(1)
+	}
+	return f
+}
+
+func runFigures(selected []harness.Figure, mpls []int, duration, warmup time.Duration, trials int, csv *os.File) {
+	opts := harness.Options{Duration: duration, Warmup: warmup, Trials: trials, Seed: 1}
 	for _, f := range selected {
 		if mpls != nil {
 			f.MPLs = mpls
@@ -92,4 +133,70 @@ func main() {
 			harness.CSV(csv, f, results)
 		}
 	}
+}
+
+// runScaling sweeps lock-table shard counts against MPL on the kvmix
+// workload at SerializableSI and prints a throughput matrix: rows are MPL,
+// columns are shard counts. shards=1 is the paper's global-latch baseline.
+func runScaling(shardList, mplList string, duration, warmup time.Duration, trials int, csv *os.File) {
+	shards := parseInts(shardList, "shards")
+	mpls := parseInts(mplList, "mpl")
+	if mpls == nil {
+		mpls = []int{1, 2, 4, 8, 16, 32, 64}
+	}
+	if csv != nil {
+		defer csv.Close()
+		fmt.Fprintf(csv, "mpl,shards,tps,ci95,commits,deadlocks,conflicts,unsafe\n")
+	}
+
+	fmt.Println("== Lock-shard scaling sweep (kvmix, SerializableSI) ==")
+	fmt.Println("   commits/s by MPL (rows) and lock shard count (columns);")
+	fmt.Println("   shards=1 is the paper's single lock-table latch.")
+	fmt.Printf("%-6s", "MPL")
+	for _, s := range shards {
+		fmt.Printf("%14s", fmt.Sprintf("shards=%d", s))
+	}
+	fmt.Println()
+
+	cfg := kvmix.DefaultConfig()
+	opts := harness.Options{Duration: duration, Warmup: warmup, Trials: trials, Seed: 1}
+	for _, mpl := range mpls {
+		fmt.Printf("%-6d", mpl)
+		for _, s := range shards {
+			db := ssidb.Open(ssidb.Options{Detector: ssidb.DetectorPrecise, LockShards: s})
+			if err := kvmix.Load(db, cfg); err != nil {
+				fmt.Fprintf(os.Stderr, "ssibench: %v\n", err)
+				os.Exit(1)
+			}
+			o := opts
+			o.MPL = mpl
+			res := harness.Run(kvmix.Worker(db, ssidb.SerializableSI, cfg), o)
+			cell := fmt.Sprintf("%.0f", res.TPS)
+			if res.TPSCI95 > 0 {
+				cell += fmt.Sprintf("±%.0f", res.TPSCI95)
+			}
+			fmt.Printf("%14s", cell)
+			if csv != nil {
+				fmt.Fprintf(csv, "%d,%d,%.1f,%.1f,%d,%d,%d,%d\n",
+					mpl, s, res.TPS, res.TPSCI95, res.Commits, res.Deadlocks, res.Conflicts, res.Unsafe)
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func parseInts(list, what string) []int {
+	if list == "" {
+		return nil
+	}
+	var out []int
+	for _, s := range strings.Split(list, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "ssibench: bad %s %q\n", what, s)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
 }

@@ -1,0 +1,3 @@
+module ssi
+
+go 1.24

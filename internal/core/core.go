@@ -10,15 +10,35 @@
 // SIREAD locks stay visible to conflict detection until every concurrent
 // transaction has finished.
 //
-// A single Manager mutex implements the paper's "atomic begin ... atomic end"
-// sections, playing the role of InnoDB's kernel mutex in the prototype the
-// thesis describes.
+// # Beyond the paper's kernel mutex
+//
+// The thesis prototypes realise the paper's "atomic begin ... atomic end"
+// sections with one global latch (InnoDB's kernel mutex), through which every
+// begin, snapshot, conflict mark and commit serialises. This Manager splits
+// that latch along the lines that let PostgreSQL's SSI scale (Ports &
+// Grittner, VLDB 2012):
+//
+//   - The logical clock is an atomic counter; Now is a plain atomic load.
+//   - tsMu is the commit-serialization point: the only section that must be
+//     globally ordered is "tick the clock, publish commitTS and status" (at
+//     commit) against "tick the clock, adopt a snapshot" (at first read), so
+//     that a snapshot observes every commit with a smaller timestamp fully
+//     published. It spans three atomic operations and nothing else.
+//   - csMu guards the rw-antidependency state (Txn.in/out) and makes the
+//     dangerous-structure check atomic with commit publication, exactly the
+//     atomicity Figures 3.2/3.10 require. Only SerializableSI transactions
+//     ever take it; SI and S2PL commits use the tsMu fast path alone.
+//   - The active-transaction registry is hash-sharded by transaction id;
+//     each shard maintains an atomic minimum-snapshot watermark, so
+//     OldestActiveSnapshot is a handful of atomic loads instead of a scan
+//     under a global lock.
 package core
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -119,7 +139,7 @@ const (
 // thesis §3.3) so that later operations by concurrent transactions can still
 // find its conflict flags.
 //
-// Fields in the "guarded by Manager.mu" group implement the inConflict /
+// Fields in the "guarded by Manager.csMu" group implement the inConflict /
 // outConflict state of the paper. With DetectorBasic a non-nil reference
 // simply means "flag set" (it is always a self-reference); with
 // DetectorPrecise it names the single conflicting transaction, degrading to a
@@ -133,11 +153,28 @@ type Txn struct {
 	commitTS atomic.Uint64 // 0 until committed
 	status   atomic.Int32
 
-	// Guarded by Manager.mu.
-	in        *Txn // transaction with an rw-edge into this one, or self if several
-	out       *Txn // transaction with an rw-edge out of this one, or self if several
+	// Guarded by Manager.csMu.
+	in  *Txn // transaction with an rw-edge into this one, or self if several
+	out *Txn // transaction with an rw-edge out of this one, or self if several
+
+	// Guarded by Manager.suspMu.
 	suspended bool
+
+	// lockState is an opaque slot for the lock manager's per-owner
+	// bookkeeping, so it needs no owner registry of its own. It is written
+	// once, by the owner's goroutine before the transaction first appears
+	// in any lock-table entry; every other reader reaches the transaction
+	// through a lock-table shard mutex or the suspended list, which
+	// establishes the necessary happens-before edge.
+	lockState any
 }
+
+// LockState returns the lock manager's per-owner slot (nil until set).
+func (t *Txn) LockState() any { return t.lockState }
+
+// SetLockState installs the lock manager's per-owner slot. Must be called
+// from the owner's goroutine before the transaction holds any lock.
+func (t *Txn) SetLockState(v any) { t.lockState = v }
 
 // ID returns the transaction's unique identifier.
 func (t *Txn) ID() uint64 { return t.id }
@@ -193,27 +230,108 @@ func committedBefore(a, b *Txn) bool {
 	return act < bbt
 }
 
+// regShard is one stripe of the active-transaction registry. Transactions
+// hash to a shard by id; the shard records, for each active transaction, a
+// conservative lower bound on its snapshot timestamp (0 until a snapshot is
+// requested) and maintains the minimum of those bounds in an atomic, so the
+// global pruning watermark is readable without any lock.
+type regShard struct {
+	mu      sync.Mutex
+	active  map[*Txn]TS   // horizon constraint per active txn; 0 = unconstrained
+	minSnap atomic.Uint64 // min non-zero constraint, tsInfinity when none
+
+	_ [40]byte // pad so neighbouring shard mutexes don't false-share
+}
+
+// lowerMinLocked folds a new constraint into the shard watermark.
+func (sh *regShard) lowerMinLocked(ts TS) {
+	if ts < sh.minSnap.Load() {
+		sh.minSnap.Store(ts)
+	}
+}
+
+// recomputeMinLocked rebuilds the shard watermark after a removal.
+func (sh *regShard) recomputeMinLocked() {
+	min := tsInfinity
+	for _, c := range sh.active {
+		if c != 0 && c < min {
+			min = c
+		}
+	}
+	sh.minSnap.Store(min)
+}
+
 // Manager owns the global transaction clock, the active and suspended
 // transaction sets, and the SSI conflict-detection logic. One Manager backs
-// one database.
+// one database. See the package comment for how its synchronisation is split
+// relative to the paper's single kernel mutex.
 type Manager struct {
 	detector Detector
 
 	nextID atomic.Uint64
+	clock  atomic.Uint64
 
-	mu        sync.Mutex
-	clock     TS
-	active    map[*Txn]struct{}
+	// tsMu is the commit-serialization point: it orders "tick clock,
+	// publish commitTS+status" against "tick clock, adopt snapshot", so a
+	// transaction whose snapshot is ts observes every commit with a smaller
+	// timestamp fully published. Nothing else runs under it.
+	tsMu sync.Mutex
+
+	// csMu guards every Txn.in/out reference and makes MarkConflict atomic
+	// with the dangerous-structure commit check (Figures 3.2/3.10). Only
+	// conflict-tracking (SerializableSI) paths take it.
+	csMu sync.Mutex
+
+	shards []*regShard
+	mask   uint64
+
+	// suspMu guards the suspended list and Txn.suspended flags.
+	suspMu    sync.Mutex
 	suspended []*Txn // committed but kept for conflict detection, in commit order
+}
+
+// ShardCount is the shared shard-sizing policy for the engine's striped
+// structures (this package's transaction registry, package lock's table):
+// n rounded up to a power of two and clamped to [1, 256]. n <= 0 selects
+// the default, the smallest power of two at or above 4×GOMAXPROCS —
+// over-provisioned relative to the core count so that concurrent
+// transactions rarely collide on a stripe.
+func ShardCount(n int) int {
+	if n <= 0 {
+		n = 4 * runtime.GOMAXPROCS(0)
+	}
+	if n > 256 {
+		n = 256
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 // NewManager returns a Manager using the given conflict detector.
 func NewManager(d Detector) *Manager {
-	return &Manager{detector: d, active: make(map[*Txn]struct{})}
+	n := ShardCount(0)
+	m := &Manager{
+		detector: d,
+		shards:   make([]*regShard, n),
+		mask:     uint64(n - 1),
+	}
+	for i := range m.shards {
+		sh := &regShard{active: make(map[*Txn]TS)}
+		sh.minSnap.Store(tsInfinity)
+		m.shards[i] = sh
+	}
+	return m
 }
 
 // Detector returns the configured SSI detector variant.
 func (m *Manager) Detector() Detector { return m.detector }
+
+func (m *Manager) regShardOf(t *Txn) *regShard {
+	return m.shards[t.id&m.mask]
+}
 
 // Begin starts a transaction at the given isolation level. No snapshot is
 // assigned yet: per thesis §4.5 the read view is chosen lazily so that a
@@ -221,9 +339,10 @@ func (m *Manager) Detector() Detector { return m.detector }
 // and can never abort under First-Committer-Wins for that statement.
 func (m *Manager) Begin(iso Isolation) *Txn {
 	t := &Txn{id: m.nextID.Add(1), iso: iso, mgr: m}
-	m.mu.Lock()
-	m.active[t] = struct{}{}
-	m.mu.Unlock()
+	sh := m.regShardOf(t)
+	sh.mu.Lock()
+	sh.active[t] = 0
+	sh.mu.Unlock()
 	return t
 }
 
@@ -233,21 +352,58 @@ func (m *Manager) AssignSnapshot(t *Txn) TS {
 	if ts := t.beginTS.Load(); ts != 0 {
 		return ts
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	sh := m.regShardOf(t)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	if ts := t.beginTS.Load(); ts != 0 {
 		return ts
 	}
-	m.clock++
-	t.beginTS.Store(m.clock)
-	return m.clock
+	// Publish a conservative horizon constraint *before* allocating the
+	// snapshot: the clock can only grow, so floor ≤ ts, and a concurrent
+	// OldestActiveSnapshot can never race past the snapshot we are about to
+	// adopt. The floor, not ts, stays registered while t is active — at
+	// most a few ticks conservative, and removal just deletes it.
+	if _, ok := sh.active[t]; ok {
+		floor := m.clock.Load() + 1
+		sh.active[t] = floor
+		sh.lowerMinLocked(floor)
+	}
+	m.tsMu.Lock()
+	ts := m.clock.Add(1)
+	m.tsMu.Unlock()
+	t.beginTS.Store(ts)
+	return ts
+}
+
+// deregister removes t from the active registry, updating the shard
+// watermark if t carried its minimum.
+func (m *Manager) deregister(t *Txn) {
+	sh := m.regShardOf(t)
+	sh.mu.Lock()
+	if c, ok := sh.active[t]; ok {
+		delete(sh.active, t)
+		if c != 0 && c == sh.minSnap.Load() {
+			sh.recomputeMinLocked()
+		}
+	}
+	sh.mu.Unlock()
+}
+
+// stampCommitted is the commit-serialization point: it allocates the commit
+// timestamp and atomically publishes it together with the committed status,
+// so that any snapshot allocated afterwards sees the commit in full.
+func (m *Manager) stampCommitted(t *Txn) TS {
+	m.tsMu.Lock()
+	ct := m.clock.Add(1)
+	t.commitTS.Store(ct)
+	t.status.Store(int32(StatusCommitted))
+	m.tsMu.Unlock()
+	return ct
 }
 
 // Now returns the current clock value (the timestamp most recently issued).
 func (m *Manager) Now() TS {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.clock
+	return m.clock.Load()
 }
 
 // MarkConflict records an rw-antidependency from reader to writer: reader
@@ -264,8 +420,8 @@ func (m *Manager) MarkConflict(reader, writer, caller *Txn) error {
 	if reader == writer || reader == nil || writer == nil {
 		return nil
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.csMu.Lock()
+	defer m.csMu.Unlock()
 
 	// Conflicts with aborted transactions are irrelevant (§3.7.1): an
 	// aborted transaction's edges cannot appear in the MVSG.
@@ -321,7 +477,9 @@ func (m *Manager) MarkConflict(reader, writer, caller *Txn) error {
 
 // abortLocked marks victim aborted. The victim must be the caller — the
 // transaction executing the operation that discovered the conflict — and the
-// error is returned for the caller to propagate while it rolls back.
+// error is returned for the caller to propagate while it rolls back. The
+// caller holds csMu; the registry removal nests the shard mutex inside it
+// (lock order: csMu → registry shard → tsMu).
 func (m *Manager) abortLocked(victim, caller *Txn) error {
 	if victim != caller {
 		// Cannot happen per the analysis in §3.4: the endangered party is
@@ -330,7 +488,7 @@ func (m *Manager) abortLocked(victim, caller *Txn) error {
 		panic(fmt.Sprintf("core: conflict victim %d is not the caller %d", victim.id, caller.id))
 	}
 	victim.status.Store(int32(StatusAborted))
-	delete(m.active, victim)
+	m.deregister(victim)
 	return ErrUnsafe
 }
 
@@ -368,8 +526,8 @@ func commitTimeLocked(t *Txn) TS {
 // and, with the abort-early optimisation of §3.7.1, at the start of every
 // operation.
 func (m *Manager) PivotUnsafe(t *Txn) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.csMu.Lock()
+	defer m.csMu.Unlock()
 	return m.pivotUnsafeLocked(t)
 }
 
@@ -402,17 +560,20 @@ func (m *Manager) pivotUnsafeLocked(t *Txn) bool {
 // it aborts t (returning ErrUnsafe) if t has already become an unsafe pivot.
 // It also surfaces aborts decided elsewhere and guards finished transactions.
 func (m *Manager) AbortEarly(t *Txn) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	switch t.Status() {
 	case StatusAborted:
 		return ErrUnsafe
 	case StatusCommitted:
 		return ErrTxnDone
 	}
-	if t.iso.TracksConflicts() && m.pivotUnsafeLocked(t) {
+	if !t.iso.TracksConflicts() {
+		return nil
+	}
+	m.csMu.Lock()
+	defer m.csMu.Unlock()
+	if m.pivotUnsafeLocked(t) {
 		t.status.Store(int32(StatusAborted))
-		delete(m.active, t)
+		m.deregister(t)
 		return ErrUnsafe
 	}
 	return nil
@@ -424,24 +585,27 @@ func (m *Manager) AbortEarly(t *Txn) error {
 // that from this instant conflict checks treat it as committed and its
 // versions become visible to later snapshots. The caller is responsible for
 // log flushing, lock release and Finish afterwards.
+//
+// Non-conflict-tracking transactions (SI, S2PL) have no structure to check
+// and commit through the tsMu fast path without touching csMu.
 func (m *Manager) CommitPrepare(t *Txn) (TS, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	switch t.Status() {
 	case StatusAborted:
 		return 0, ErrUnsafe
 	case StatusCommitted:
 		return 0, ErrTxnDone
 	}
-	if t.iso.TracksConflicts() && m.pivotUnsafeLocked(t) {
+	if !t.iso.TracksConflicts() {
+		return m.stampCommitted(t), nil
+	}
+	m.csMu.Lock()
+	defer m.csMu.Unlock()
+	if m.pivotUnsafeLocked(t) {
 		t.status.Store(int32(StatusAborted))
-		delete(m.active, t)
+		m.deregister(t)
 		return 0, ErrUnsafe
 	}
-	m.clock++
-	ct := m.clock
-	t.commitTS.Store(ct)
-	t.status.Store(int32(StatusCommitted))
+	ct := m.stampCommitted(t)
 	if m.detector == DetectorPrecise {
 		// Figure 3.10 lines 9-12: replace references to already-committed
 		// transactions with self-references so a suspended transaction only
@@ -464,14 +628,14 @@ func (m *Manager) CommitPrepare(t *Txn) (TS, error) {
 // active transaction began — so the caller can release their SIREAD locks
 // (eager cleanup, thesis §4.6.1).
 func (m *Manager) Finish(t *Txn, keep bool) (cleaned []*Txn) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	delete(m.active, t)
+	m.deregister(t)
 	if keep {
+		m.suspMu.Lock()
 		t.suspended = true
 		m.suspended = append(m.suspended, t)
+		m.suspMu.Unlock()
 	}
-	return m.sweepLocked()
+	return m.sweep()
 }
 
 // Abort marks t aborted and removes it from the active set. Rollback and
@@ -479,23 +643,26 @@ func (m *Manager) Finish(t *Txn, keep bool) (cleaned []*Txn) {
 // never suspended: their conflicts are void. Returns suspended transactions
 // that became obsolete.
 func (m *Manager) Abort(t *Txn) (cleaned []*Txn) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if t.Status() == StatusActive {
 		t.status.Store(int32(StatusAborted))
 	}
-	delete(m.active, t)
-	return m.sweepLocked()
+	m.deregister(t)
+	return m.sweep()
 }
 
-// sweepLocked removes and returns suspended transactions whose commit
-// precedes the begin of every active transaction. The suspended list is in
-// commit order, so obsolete entries form a prefix.
-func (m *Manager) sweepLocked() []*Txn {
+// sweep removes and returns suspended transactions whose commit precedes
+// the begin of every active transaction. The suspended list is in commit
+// order, so obsolete entries form a prefix. Every transaction end (Finish or
+// Abort) sweeps after its own registry removal, which guarantees the final
+// sweep in any quiescing workload observes an empty registry and drains the
+// whole list.
+func (m *Manager) sweep() []*Txn {
+	m.suspMu.Lock()
+	defer m.suspMu.Unlock()
 	if len(m.suspended) == 0 {
 		return nil
 	}
-	horizon := m.oldestActiveBeginLocked()
+	horizon := m.OldestActiveSnapshot()
 	n := 0
 	for n < len(m.suspended) && m.suspended[n].CommitTS() < horizon {
 		m.suspended[n].suspended = false
@@ -510,27 +677,26 @@ func (m *Manager) sweepLocked() []*Txn {
 	return cleaned
 }
 
-// oldestActiveBeginLocked returns the earliest snapshot among active
-// transactions, or infinity if none constrains cleanup. Transactions without
-// a snapshot will receive one later than any timestamp issued so far, so
-// they do not constrain the horizon.
-func (m *Manager) oldestActiveBeginLocked() TS {
-	min := tsInfinity
-	for t := range m.active {
-		if ts := t.Snapshot(); ts != 0 && ts < min {
-			min = ts
+// OldestActiveSnapshot is the exported pruning horizon: versions committed
+// before it and superseded by another version committed before it can never
+// be read again. Used by the MVCC store's garbage pruning and the suspended
+// sweep. It is a watermark read — one atomic load per registry shard, no
+// locks — capped at clock+1 so that a transaction between snapshot
+// allocation and registry publication is still covered: any snapshot
+// allocated after the cap was read is necessarily larger than it.
+//
+// The clock must be read before the shard minima: a transaction that
+// registers its constraint after its shard was inspected allocates its
+// snapshot after the cap was read, so its snapshot exceeds the returned
+// horizon either way.
+func (m *Manager) OldestActiveSnapshot() TS {
+	min := m.clock.Load() + 1
+	for _, sh := range m.shards {
+		if v := sh.minSnap.Load(); v < min {
+			min = v
 		}
 	}
 	return min
-}
-
-// OldestActiveSnapshot is the exported pruning horizon: versions committed
-// before it and superseded by another version committed before it can never
-// be read again. Used by the MVCC store's garbage pruning.
-func (m *Manager) OldestActiveSnapshot() TS {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.oldestActiveBeginLocked()
 }
 
 // Stats is a point-in-time census of the Manager, used by tests and the
@@ -541,30 +707,39 @@ type Stats struct {
 	Clock     TS
 }
 
-// StatsSnapshot returns current counters.
+// StatsSnapshot returns current counters. The registry shards are visited
+// one at a time, so Active is not an atomic cut across shards; quiesce first
+// for exact numbers.
 func (m *Manager) StatsSnapshot() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return Stats{Active: len(m.active), Suspended: len(m.suspended), Clock: m.clock}
+	st := Stats{Clock: m.clock.Load()}
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		st.Active += len(sh.active)
+		sh.mu.Unlock()
+	}
+	m.suspMu.Lock()
+	st.Suspended = len(m.suspended)
+	m.suspMu.Unlock()
+	return st
 }
 
 // Suspended reports whether t is currently kept in the suspended set.
 func (m *Manager) Suspended(t *Txn) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.suspMu.Lock()
+	defer m.suspMu.Unlock()
 	return t.suspended
 }
 
 // HasInConflict and HasOutConflict expose the conflict flags for tests.
 func (m *Manager) HasInConflict(t *Txn) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.csMu.Lock()
+	defer m.csMu.Unlock()
 	return t.in != nil
 }
 
 // HasOutConflict reports whether an outgoing rw-edge has been recorded on t.
 func (m *Manager) HasOutConflict(t *Txn) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.csMu.Lock()
+	defer m.csMu.Unlock()
 	return t.out != nil
 }

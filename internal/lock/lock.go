@@ -8,6 +8,19 @@
 // (phantom prevention, thesis §2.5.2/§3.5) and page locks (the Berkeley DB
 // granularity of thesis Chapter 4).
 //
+// # Sharded lock table
+//
+// The paper's prototypes guard the whole lock table with one latch (InnoDB's
+// kernel mutex), which serialises every acquire and release on every core.
+// Following the partitioned lock tables that made SSI production-ready in
+// PostgreSQL (Ports & Grittner, VLDB 2012), this manager hash-stripes the
+// table into shards: a key maps to exactly one shard, and each shard has its
+// own mutex, condition variables and ownership bookkeeping, so acquires and
+// releases on different keys proceed in parallel. Deadlock detection cannot
+// be per-shard — a wait cycle can span shards — so it lives in a dedicated
+// waits-for graph component (waitsfor.go) consulted only when a request must
+// block; the uncontended fast path touches nothing global.
+//
 // The manager detects deadlocks immediately with a waits-for graph search and
 // aborts the requester, implements shared→exclusive upgrades, and supports
 // the SIREAD→EXCLUSIVE upgrade optimisation of thesis §3.7.3 (dropping the
@@ -21,6 +34,7 @@ package lock
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"ssi/internal/core"
 )
@@ -180,7 +194,75 @@ func (e *entry) countModes(before, after Mode) {
 	}
 }
 
-// Manager is a lock table. The zero value is not usable; call NewManager.
+// shard is one stripe of the lock table. A key maps to exactly one shard
+// (shardOf), so shard tables are disjoint; an entry's condition variable is
+// bound to its shard's mutex.
+type shard struct {
+	idx   int // position in Manager.shards, used for deadlock-free pair locking
+	mu    sync.Mutex
+	table map[Key]*entry
+	waits uint64 // acquires on this shard that had to block
+
+	// Pad the struct to 128 bytes: that size class is allocated at
+	// 128-byte slot boundaries, so each shard's mutex is guaranteed its
+	// own cache line (a 64-byte struct would merely make line-sharing
+	// with a neighbouring allocation unlikely, not impossible).
+	_ [96]byte
+}
+
+func newShard(idx int) *shard {
+	return &shard{idx: idx, table: make(map[Key]*entry)}
+}
+
+// ownerState is one transaction's lock bookkeeping: the keys it holds (with
+// modes) and its SIREAD census. It lives in the transaction's opaque
+// core.Txn slot, so no owner registry — global or per shard — exists, and a
+// transaction costs one bookkeeping allocation however many shards its keys
+// spread over. Its mutex nests inside shard mutexes (lock order: shard →
+// ownerState) and is what keeps cross-shard operations on one owner
+// coherent: InheritSIRead (another goroutine granting this owner a lock)
+// versus release processing shards one at a time.
+type ownerState struct {
+	mu     sync.Mutex
+	keys   map[Key]Mode // nil once released
+	sireds int          // count of keys with SIRead held
+	// released marks an initiated ReleaseAll: the owner is retired and no
+	// lock may be recorded for it again. Without it, an InheritSIRead
+	// racing a cleanup ReleaseAll could resurrect a SIREAD in a shard the
+	// release had already drained, leaking the entry forever. Set under mu;
+	// atomic so stateFor can test it without locking.
+	released atomic.Bool
+}
+
+// stateOf returns the owner's bookkeeping, or nil if it never took a lock.
+func stateOf(owner *core.Txn) *ownerState {
+	if v := owner.LockState(); v != nil {
+		return v.(*ownerState)
+	}
+	return nil
+}
+
+// stateFor returns the owner's bookkeeping, creating it on first use — or
+// afresh after a ReleaseAll, so tests reusing a transaction keep working.
+// Only the owner's own goroutine acquires locks, so the unsynchronised
+// write is safe; see core.Txn.SetLockState.
+func stateFor(owner *core.Txn) *ownerState {
+	if os := stateOf(owner); os != nil && !os.released.Load() {
+		return os
+	}
+	os := &ownerState{keys: make(map[Key]Mode)}
+	owner.SetLockState(os)
+	return os
+}
+
+// keyBufPool recycles the key snapshots release takes; Key is two string
+// headers wide, so per-release slices would otherwise be a visible share of
+// the engine's allocation rate. Buffers are cleared before being returned
+// so they pin no table or key bytes while idle.
+var keyBufPool = sync.Pool{New: func() any { s := make([]Key, 0, 32); return &s }}
+
+// Manager is a sharded lock table. The zero value is not usable; call
+// NewManager or NewManagerShards.
 type Manager struct {
 	// UpgradeSIRead enables the §3.7.3 optimisation: when an owner acquires
 	// an EXCLUSIVE lock on a key it holds an SIREAD lock on, the SIREAD
@@ -188,23 +270,63 @@ type Manager struct {
 	// instead, so fewer locks outlive the transaction.
 	upgradeSIRead bool
 
-	mu     sync.Mutex
-	table  map[Key]*entry
-	owned  map[*core.Txn]map[Key]Mode
-	sireds map[*core.Txn]int                // count of keys with SIRead held
-	waits  map[*core.Txn]map[*core.Txn]bool // waits-for edges for deadlock detection
+	shards []*shard
+	mask   uint32
+	wfg    *waitGraph
 }
 
-// NewManager returns an empty lock table. upgradeSIRead enables the
-// SIREAD→EXCLUSIVE upgrade optimisation of thesis §3.7.3.
+// DefaultShards is the shard count NewManager uses: core.ShardCount's
+// GOMAXPROCS-scaled default, shared with the transaction registry.
+func DefaultShards() int {
+	return core.ShardCount(0)
+}
+
+// NewManager returns an empty lock table with DefaultShards shards.
+// upgradeSIRead enables the SIREAD→EXCLUSIVE upgrade optimisation of thesis
+// §3.7.3.
 func NewManager(upgradeSIRead bool) *Manager {
-	return &Manager{
+	return NewManagerShards(upgradeSIRead, 0)
+}
+
+// NewManagerShards is NewManager with an explicit shard count, sized by
+// core.ShardCount (rounded up to a power of two, clamped to [1, 256];
+// n <= 0 selects the default). A single shard reproduces the paper's global
+// lock-table latch exactly (useful for ablation benchmarks).
+func NewManagerShards(upgradeSIRead bool, n int) *Manager {
+	n = core.ShardCount(n)
+	m := &Manager{
 		upgradeSIRead: upgradeSIRead,
-		table:         make(map[Key]*entry),
-		owned:         make(map[*core.Txn]map[Key]Mode),
-		sireds:        make(map[*core.Txn]int),
-		waits:         make(map[*core.Txn]map[*core.Txn]bool),
+		shards:        make([]*shard, n),
+		mask:          uint32(n - 1),
+		wfg:           newWaitGraph(),
 	}
+	for i := range m.shards {
+		m.shards[i] = newShard(i)
+	}
+	return m
+}
+
+// Shards returns the shard count (a power of two).
+func (m *Manager) Shards() int { return len(m.shards) }
+
+// shardOf maps a key to its shard with FNV-1a over all key fields.
+func (m *Manager) shardOf(key Key) *shard {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key.Table); i++ {
+		h ^= uint32(key.Table[i])
+		h *= prime32
+	}
+	h ^= uint32(key.Kind)
+	h *= prime32
+	for i := 0; i < len(key.K); i++ {
+		h ^= uint32(key.K[i])
+		h *= prime32
+	}
+	return m.shards[h&m.mask]
 }
 
 // Acquire obtains a lock of the given mode on key for owner, blocking while
@@ -218,18 +340,20 @@ func NewManager(upgradeSIRead bool) *Manager {
 // Re-acquiring a held mode is a no-op. An owner holding Shared that requests
 // Exclusive upgrades in place once other holders drain.
 func (m *Manager) Acquire(owner *core.Txn, key Key, mode Mode) (rivals []*core.Txn, err error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	os := stateFor(owner)
+	s := m.shardOf(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 
-	e := m.table[key]
+	e := s.table[key]
 	if e == nil {
 		e = &entry{holders: make(map[*core.Txn]Mode)}
-		e.cond = sync.NewCond(&m.mu)
-		m.table[key] = e
+		e.cond = sync.NewCond(&s.mu)
+		s.table[key] = e
 	}
 
 	if e.holders[owner]&mode == mode {
-		return m.rivalsLocked(e, owner, mode), nil // already held
+		return rivalsLocked(e, owner, mode), nil // already held
 	}
 	if mode == SIRead && e.holders[owner]&Exclusive != 0 && m.upgradeable(key) {
 		// Already upgraded: the exclusive lock subsumes the read lock's
@@ -237,34 +361,37 @@ func (m *Manager) Acquire(owner *core.Txn, key Key, mode Mode) (rivals []*core.T
 		return nil, nil
 	}
 
+	waited := false
 	for {
-		blockers := m.blockersLocked(e, owner, key, mode)
+		blockers := blockersLocked(e, owner, key, mode)
 		if len(blockers) == 0 {
 			break
 		}
-		// Record the wait and look for a deadlock cycle through us.
-		edges := make(map[*core.Txn]bool, len(blockers))
-		for _, b := range blockers {
-			edges[b] = true
-		}
-		m.waits[owner] = edges
-		if m.cycleLocked(owner) {
-			delete(m.waits, owner)
+		// Register the wait in the cross-shard graph and look for a
+		// deadlock cycle through us. The shard mutex is still held, so the
+		// blocker set cannot go stale before the edges are recorded.
+		if !m.wfg.setWaits(owner, blockers) {
 			return nil, core.ErrDeadlock
 		}
+		if !waited {
+			s.waits++ // count blocked acquires, not wait-loop iterations
+		}
+		waited = true
 		e.waiters++
 		e.cond.Wait()
 		e.waiters--
 	}
-	delete(m.waits, owner)
+	if waited {
+		m.wfg.clear(owner)
+	}
 
-	rivals = m.rivalsLocked(e, owner, mode)
-	m.grantLocked(e, owner, key, mode)
+	rivals = rivalsLocked(e, owner, mode)
+	m.grantLocked(os, e, owner, key, mode)
 	return rivals, nil
 }
 
 // blockersLocked returns the other owners whose held modes block a request.
-func (m *Manager) blockersLocked(e *entry, owner *core.Txn, key Key, mode Mode) []*core.Txn {
+func blockersLocked(e *entry, owner *core.Txn, key Key, mode Mode) []*core.Txn {
 	if mode == SIRead {
 		return nil // SIREAD never blocks
 	}
@@ -310,7 +437,7 @@ func (m *Manager) blockersLocked(e *entry, owner *core.Txn, key Key, mode Mode) 
 
 // rivalsLocked returns the other owners whose held modes signal a read-write
 // conflict with a request.
-func (m *Manager) rivalsLocked(e *entry, owner *core.Txn, mode Mode) []*core.Txn {
+func rivalsLocked(e *entry, owner *core.Txn, mode Mode) []*core.Txn {
 	own := e.holders[owner]
 	switch mode {
 	case Exclusive:
@@ -353,52 +480,25 @@ func (m *Manager) upgradeable(key Key) bool {
 	return m.upgradeSIRead && (key.Kind == Row || key.Kind == Page)
 }
 
-func (m *Manager) grantLocked(e *entry, owner *core.Txn, key Key, mode Mode) {
+// grantLocked installs the granted mode; the caller holds the mutex of the
+// shard e lives in.
+func (m *Manager) grantLocked(os *ownerState, e *entry, owner *core.Txn, key Key, mode Mode) {
 	prev := e.holders[owner]
 	next := prev | mode
+	os.mu.Lock()
 	if mode == Exclusive && prev&SIRead != 0 && m.upgradeable(key) {
 		// §3.7.3: drop the SIREAD lock; the version we create will expose
 		// the conflict to future readers instead.
 		next &^= SIRead
-		m.sireds[owner]--
-		if m.sireds[owner] == 0 {
-			delete(m.sireds, owner)
-		}
+		os.sireds--
 	}
 	if mode == SIRead && prev&SIRead == 0 {
-		m.sireds[owner]++
+		os.sireds++
 	}
+	os.keys[key] = next
+	os.mu.Unlock()
 	e.holders[owner] = next
 	e.countModes(prev, next)
-
-	keys := m.owned[owner]
-	if keys == nil {
-		keys = make(map[Key]Mode)
-		m.owned[owner] = keys
-	}
-	keys[key] = next
-}
-
-// cycleLocked reports whether the waits-for graph contains a cycle through
-// start. Runs a depth-first search over current wait edges.
-func (m *Manager) cycleLocked(start *core.Txn) bool {
-	seen := map[*core.Txn]bool{}
-	var dfs func(t *core.Txn) bool
-	dfs = func(t *core.Txn) bool {
-		for next := range m.waits[t] {
-			if next == start {
-				return true
-			}
-			if !seen[next] {
-				seen[next] = true
-				if dfs(next) {
-					return true
-				}
-			}
-		}
-		return false
-	}
-	return dfs(start)
 }
 
 // ReleaseBlocking releases owner's Shared and Exclusive locks (at commit
@@ -415,57 +515,127 @@ func (m *Manager) ReleaseAll(owner *core.Txn) {
 }
 
 func (m *Manager) release(owner *core.Txn, modes Mode) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	keys := m.owned[owner]
-	if keys == nil {
-		return
+	os := stateOf(owner)
+	if os == nil {
+		return // never held a lock
 	}
-	for key, held := range keys {
-		rest := held &^ modes
-		e := m.table[key]
-		if held&SIRead != 0 && modes&SIRead != 0 {
-			m.sireds[owner]--
-			if m.sireds[owner] == 0 {
-				delete(m.sireds, owner)
-			}
-		}
-		e.countModes(held, rest)
-		if rest == 0 {
-			delete(keys, key)
-			delete(e.holders, owner)
-			if len(e.holders) == 0 && e.waiters == 0 {
-				delete(m.table, key)
-			}
-		} else {
-			keys[key] = rest
-			e.holders[owner] = rest
-		}
-		if held&(Shared|Exclusive) != 0 && modes&(Shared|Exclusive) != 0 && e.waiters > 0 {
-			e.cond.Broadcast()
+	// Snapshot the affected keys, marking the owner retired first when this
+	// is a ReleaseAll: after the flag is set no key can be added (Inherit
+	// checks it), so the snapshot is complete and the per-shard drain that
+	// follows cannot race a late grant.
+	terminal := modes&SIRead != 0
+	bufp := keyBufPool.Get().(*[]Key)
+	keys := (*bufp)[:0]
+	os.mu.Lock()
+	if terminal {
+		os.released.Store(true)
+	}
+	for key, held := range os.keys {
+		if held&modes != 0 {
+			keys = append(keys, key)
 		}
 	}
-	if len(keys) == 0 {
-		delete(m.owned, owner)
+	os.mu.Unlock()
+
+	for _, key := range keys {
+		s := m.shardOf(key)
+		s.mu.Lock()
+		m.releaseKeyLocked(s, os, owner, key, modes)
+		s.mu.Unlock()
+	}
+	clear(keys)
+	*bufp = keys[:0]
+	keyBufPool.Put(bufp)
+
+	if terminal {
+		// Drop the bookkeeping map: transaction records stay reachable from
+		// version chains and the suspended list long after their locks are
+		// gone, and a pointer-rich map pinned to each would swell the live
+		// heap the garbage collector re-scans every cycle.
+		os.mu.Lock()
+		os.keys = nil
+		os.mu.Unlock()
 	}
 }
 
-// AcquireSIReadBatch grants SIREAD on every key in one lock-table critical
-// section and returns the union of conflicting EXCLUSIVE holders. SIREAD
-// never blocks, so this cannot wait; it exists because predicate scans lock
-// every row and gap they visit, and per-key mutex round-trips dominate
-// otherwise (InnoDB amortises the same way with per-page lock bitmaps,
-// thesis §4.4).
+// releaseKeyLocked drops owner's modes on one key; the caller holds the
+// key's shard mutex. The held modes are re-read under the locks (not taken
+// from the caller's snapshot) because a concurrent InheritSIRead may have
+// widened them since.
+func (m *Manager) releaseKeyLocked(s *shard, os *ownerState, owner *core.Txn, key Key, modes Mode) {
+	os.mu.Lock()
+	held, ok := os.keys[key]
+	if !ok || held&modes == 0 {
+		os.mu.Unlock()
+		return
+	}
+	rest := held &^ modes
+	if held&SIRead != 0 && modes&SIRead != 0 {
+		os.sireds--
+	}
+	if rest == 0 {
+		delete(os.keys, key)
+	} else {
+		os.keys[key] = rest
+	}
+	os.mu.Unlock()
+
+	e := s.table[key]
+	e.countModes(held, rest)
+	if rest == 0 {
+		delete(e.holders, owner)
+		if len(e.holders) == 0 && e.waiters == 0 {
+			delete(s.table, key)
+		}
+	} else {
+		e.holders[owner] = rest
+	}
+	if held&(Shared|Exclusive) != 0 && e.waiters > 0 {
+		e.cond.Broadcast()
+	}
+}
+
+// AcquireSIReadBatch grants SIREAD on every key in one critical section per
+// touched shard and returns the union of conflicting EXCLUSIVE holders.
+// SIREAD never blocks, so this cannot wait; it exists because predicate
+// scans lock every row and gap they visit, and per-key shard round-trips
+// dominate otherwise (InnoDB amortises the same way with per-page lock
+// bitmaps, thesis §4.4). Callers run it under the table latch, which — not
+// the lock-table critical section — is what makes the grant atomic with the
+// scan against concurrent inserters.
 func (m *Manager) AcquireSIReadBatch(owner *core.Txn, keys []Key) (rivals []*core.Txn) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	os := stateFor(owner)
 	seen := map[*core.Txn]bool{}
+	if len(m.shards) == 1 {
+		s := m.shards[0]
+		s.mu.Lock()
+		rivals = m.sireadBatchLocked(s, os, owner, keys, seen, rivals)
+		s.mu.Unlock()
+		return rivals
+	}
+	// Keys hash-stripe across shards, so consecutive scan keys land on
+	// unrelated shards; bucketise first to get one critical section per
+	// touched shard instead of one per key.
+	byShard := make(map[*shard][]Key, 8)
 	for _, key := range keys {
-		e := m.table[key]
+		s := m.shardOf(key)
+		byShard[s] = append(byShard[s], key)
+	}
+	for s, ks := range byShard {
+		s.mu.Lock()
+		rivals = m.sireadBatchLocked(s, os, owner, ks, seen, rivals)
+		s.mu.Unlock()
+	}
+	return rivals
+}
+
+func (m *Manager) sireadBatchLocked(s *shard, os *ownerState, owner *core.Txn, keys []Key, seen map[*core.Txn]bool, rivals []*core.Txn) []*core.Txn {
+	for _, key := range keys {
+		e := s.table[key]
 		if e == nil {
 			e = &entry{holders: make(map[*core.Txn]Mode)}
-			e.cond = sync.NewCond(&m.mu)
-			m.table[key] = e
+			e.cond = sync.NewCond(&s.mu)
+			s.table[key] = e
 		}
 		held := e.holders[owner]
 		if held&SIRead != 0 {
@@ -486,7 +656,7 @@ func (m *Manager) AcquireSIReadBatch(owner *core.Txn, keys []Key) (rivals []*cor
 				}
 			}
 		}
-		m.grantLocked(e, owner, key, SIRead)
+		m.grantLocked(os, e, owner, key, SIRead)
 	}
 	return rivals
 }
@@ -498,11 +668,14 @@ func (m *Manager) AcquireSIReadBatch(owner *core.Txn, keys []Key) (rivals []*cor
 // or later writers into the new gap/page would escape conflict detection.
 // SIREAD grants never block, so this completes immediately. The caller
 // typically holds the table latch, making the inheritance atomic with the
-// structure change.
+// structure change. src and dst may live in different shards; both shard
+// mutexes are held (in index order) so the copy is atomic.
 func (m *Manager) InheritSIRead(src, dst Key) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	se := m.table[src]
+	ss, ds := m.shardOf(src), m.shardOf(dst)
+	lockPair(ss, ds)
+	defer unlockPair(ss, ds)
+
+	se := ss.table[src]
 	if se == nil {
 		return
 	}
@@ -512,55 +685,104 @@ func (m *Manager) InheritSIRead(src, dst Key) {
 			continue
 		}
 		if de == nil {
-			de = m.table[dst]
+			de = ds.table[dst]
 			if de == nil {
 				de = &entry{holders: make(map[*core.Txn]Mode)}
-				de.cond = sync.NewCond(&m.mu)
-				m.table[dst] = de
+				de.cond = sync.NewCond(&ds.mu)
+				ds.table[dst] = de
 			}
 		}
 		if de.holders[h]&SIRead != 0 {
 			continue
 		}
+		hos := stateOf(h) // non-nil: h holds a lock on src
+		hos.mu.Lock()
+		if hos.released.Load() {
+			// h's ReleaseAll already ran (or is draining shards): recording
+			// a new grant would leak it. Its src SIREAD is moments from
+			// disappearing, so there is nothing to inherit.
+			hos.mu.Unlock()
+			continue
+		}
 		mode := de.holders[h] | SIRead
+		hos.keys[dst] = mode
+		hos.sireds++
+		hos.mu.Unlock()
 		de.countModes(de.holders[h], mode)
 		de.holders[h] = mode
-		keys := m.owned[h]
-		if keys == nil {
-			keys = make(map[Key]Mode)
-			m.owned[h] = keys
-		}
-		keys[dst] = mode
-		m.sireds[h]++
+	}
+}
+
+// lockPair locks one or two shards without self-deadlock: equal shards are
+// locked once, distinct shards always in ascending index order.
+func lockPair(a, b *shard) {
+	if a == b {
+		a.mu.Lock()
+		return
+	}
+	if a.idx > b.idx {
+		a, b = b, a
+	}
+	a.mu.Lock()
+	b.mu.Lock()
+}
+
+func unlockPair(a, b *shard) {
+	a.mu.Unlock()
+	if a != b {
+		b.mu.Unlock()
 	}
 }
 
 // HoldsSIRead reports whether owner currently holds any SIREAD lock; it
 // decides whether a committing transaction must be suspended (thesis §3.3).
 func (m *Manager) HoldsSIRead(owner *core.Txn) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.sireds[owner] > 0
+	os := stateOf(owner)
+	if os == nil {
+		return false
+	}
+	os.mu.Lock()
+	defer os.mu.Unlock()
+	return os.sireds > 0
 }
 
 // Holds reports whether owner holds mode on key. Test helper.
 func (m *Manager) Holds(owner *core.Txn, key Key, mode Mode) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	e := m.table[key]
+	s := m.shardOf(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.table[key]
 	return e != nil && e.holders[owner]&mode == mode
 }
 
 // Stats reports the table census, used to verify that SIREAD cleanup keeps
-// the lock table bounded (the concern of thesis §4.3.1/§4.6.1).
+// the lock table bounded (the concern of thesis §4.3.1/§4.6.1). Counters are
+// aggregated across shards: Keys is exact (keys partition across shards) and
+// Owners is deduplicated (one owner usually holds keys in several shards).
 type Stats struct {
-	Keys   int // distinct locked keys
-	Owners int // distinct owners holding at least one lock
+	Keys   int    // distinct locked keys
+	Owners int    // distinct owners holding at least one lock
+	Shards int    // configured shard count
+	Waits  uint64 // acquires that had to block, cumulative
 }
 
-// StatsSnapshot returns current counters.
+// StatsSnapshot returns current counters aggregated across all shards. The
+// shards are visited one at a time, so the snapshot is not a single atomic
+// cut — callers quiesce first when they need exact numbers, as the tests do.
 func (m *Manager) StatsSnapshot() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return Stats{Keys: len(m.table), Owners: len(m.owned)}
+	st := Stats{Shards: len(m.shards)}
+	owners := make(map[*core.Txn]struct{})
+	for _, s := range m.shards {
+		s.mu.Lock()
+		st.Keys += len(s.table)
+		st.Waits += s.waits
+		for _, e := range s.table {
+			for o := range e.holders {
+				owners[o] = struct{}{}
+			}
+		}
+		s.mu.Unlock()
+	}
+	st.Owners = len(owners)
+	return st
 }

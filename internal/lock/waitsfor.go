@@ -1,0 +1,80 @@
+package lock
+
+import (
+	"sync"
+
+	"ssi/internal/core"
+)
+
+// waitGraph is the waits-for graph used for immediate deadlock detection.
+//
+// The lock table is hash-striped into shards, but a deadlock cycle can span
+// shards (T1 waits on a key in shard A held by T2, which waits on a key in
+// shard B held by T1), so the graph is a single component with its own
+// mutex rather than per-shard state. A waiter registers its edges — while
+// still holding its shard's mutex, so the blocker set cannot go stale —
+// and the registration either finds a cycle through the waiter (the waiter
+// aborts as the deadlock victim) or records the wait. Because the graph
+// mutex serialises every registration and search, two transactions closing
+// a cycle from different shards cannot both miss it: whichever registers
+// second sees the other's edges.
+//
+// Lock ordering: shard mutex → graph mutex. The graph never calls back
+// into the lock table, and the uncontended Acquire fast path never touches
+// the graph at all.
+type waitGraph struct {
+	mu    sync.Mutex
+	edges map[*core.Txn]map[*core.Txn]bool
+}
+
+func newWaitGraph() *waitGraph {
+	return &waitGraph{edges: make(map[*core.Txn]map[*core.Txn]bool)}
+}
+
+// setWaits replaces owner's outgoing wait edges with the given blockers and
+// reports whether the wait is safe. If waiting would close a cycle through
+// owner, the edges are removed again and setWaits returns false: the owner
+// must abort with core.ErrDeadlock instead of blocking.
+func (g *waitGraph) setWaits(owner *core.Txn, blockers []*core.Txn) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	es := make(map[*core.Txn]bool, len(blockers))
+	for _, b := range blockers {
+		es[b] = true
+	}
+	g.edges[owner] = es
+	if g.cycleLocked(owner) {
+		delete(g.edges, owner)
+		return false
+	}
+	return true
+}
+
+// clear removes owner's wait edges after its lock request was granted.
+func (g *waitGraph) clear(owner *core.Txn) {
+	g.mu.Lock()
+	delete(g.edges, owner)
+	g.mu.Unlock()
+}
+
+// cycleLocked reports whether the graph contains a cycle through start,
+// by depth-first search over the current wait edges.
+func (g *waitGraph) cycleLocked(start *core.Txn) bool {
+	seen := map[*core.Txn]bool{}
+	var dfs func(t *core.Txn) bool
+	dfs = func(t *core.Txn) bool {
+		for next := range g.edges[t] {
+			if next == start {
+				return true
+			}
+			if !seen[next] {
+				seen[next] = true
+				if dfs(next) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return dfs(start)
+}

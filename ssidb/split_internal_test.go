@@ -1,0 +1,82 @@
+package ssidb
+
+import (
+	"fmt"
+	"testing"
+
+	"ssi/internal/lock"
+)
+
+// TestImplicitTableSplitInheritsSIRead verifies that a table created
+// *implicitly* (first access through db.table, never CreateTable) under
+// GranularityPage gets the page-split hook: a reader's SIREAD page coverage
+// must follow rows that a split moves to a new page, transitively across
+// further splits, or later writers to the moved rows would escape conflict
+// detection. Explicit and implicit creation share one construction path
+// (getOrCreateTable), which this test pins.
+func TestImplicitTableSplitInheritsSIRead(t *testing.T) {
+	db := Open(Options{Granularity: GranularityPage, PageMaxKeys: 4, Detector: DetectorPrecise})
+
+	key := func(i int) []byte { return []byte(fmt.Sprintf("k%02d", i)) }
+
+	// Implicit creation: the first Put routes through db.table("t").
+	if err := db.Run(SnapshotIsolation, func(tx *Txn) error {
+		for i := 0; i < 4; i++ {
+			if err := tx.Put("t", key(i), []byte("v")); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// An SSI reader scans everything, taking SIREAD on every leaf page.
+	reader := db.Begin(SerializableSI)
+	if err := reader.Scan("t", nil, nil, func(k, v []byte) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	tb := db.table("t")
+	if pg := tb.data.LeafPage(key(2)); !db.locks.Holds(reader.t, lock.PageKey("t", pg), lock.SIRead) {
+		t.Fatalf("reader does not hold SIREAD on leaf page %d before split", pg)
+	}
+
+	// Concurrent inserts force repeated leaf splits.
+	pagesBefore := db.TablePages("t")
+	if err := db.Run(SnapshotIsolation, func(tx *Txn) error {
+		for i := 4; i < 20; i++ {
+			if err := tx.Put("t", key(i), []byte("v")); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if db.TablePages("t") <= pagesBefore {
+		t.Fatalf("no split happened (pages %d -> %d); test needs smaller pages",
+			pagesBefore, db.TablePages("t"))
+	}
+
+	// Every leaf page descends from a page the reader covered, so the
+	// inherited SIREAD must cover all of them — in particular the pages the
+	// original rows moved to.
+	for i := 0; i < 20; i++ {
+		pg := tb.data.LeafPage(key(i))
+		if !db.locks.Holds(reader.t, lock.PageKey("t", pg), lock.SIRead) {
+			t.Fatalf("SIREAD coverage lost: key %s now on page %d without reader's SIREAD", key(i), pg)
+		}
+	}
+
+	// And the coverage is live, not vestigial: a writer updating a moved
+	// row must observe the reader as a rival (rw-antidependency source).
+	writer := db.Begin(SerializableSI)
+	if err := writer.Put("t", key(1), []byte("w")); err != nil {
+		t.Fatal(err)
+	}
+	if !db.mgr.HasInConflict(writer.t) {
+		t.Fatal("writer on split-moved row did not record rw-conflict with reader")
+	}
+	writer.Abort()
+	reader.Abort()
+}

@@ -123,6 +123,12 @@ type Options struct {
 	// commit. Zero disables flushing (the Figure 6.1 configuration);
 	// non-zero enables group commit (Figures 6.2+).
 	FlushLatency time.Duration
+	// LockShards is the number of hash stripes in the lock manager's table
+	// (rounded up to a power of two, clamped to [1, 256]). Zero selects the
+	// default, lock.DefaultShards: GOMAXPROCS-scaled so every core can work
+	// a different stripe. One shard reproduces the paper's single lock-table
+	// latch, useful as a contention baseline.
+	LockShards int
 	// DisableSIReadUpgrade turns off the §3.7.3 optimisation that discards
 	// a transaction's SIREAD lock once it acquires EXCLUSIVE on the same
 	// key. Used by ablation benchmarks.
@@ -162,25 +168,39 @@ func Open(opts Options) *DB {
 	db := &DB{
 		opts:   opts,
 		mgr:    core.NewManager(opts.Detector),
-		locks:  lock.NewManager(!opts.DisableSIReadUpgrade),
+		locks:  lock.NewManagerShards(!opts.DisableSIReadUpgrade, opts.LockShards),
 		log:    wal.NewLog(opts.FlushLatency),
 		tables: make(map[string]*table),
 	}
 	return db
 }
 
+// LockShards returns the lock manager's effective shard count.
+func (db *DB) LockShards() int { return db.locks.Shards() }
+
 // CreateTable creates a table with an explicit page capacity (keys per
 // B+tree page). Creating an existing table is a no-op. Tables are also
 // created implicitly on first use with the default capacity.
 func (db *DB) CreateTable(name string, pageMaxKeys int) {
+	db.getOrCreateTable(name, pageMaxKeys)
+}
+
+// getOrCreateTable is the single construction path for tables, so explicit
+// and implicit creation cannot diverge (in particular, both must install the
+// page-split hook that keeps SIREAD coverage and page write-stamps attached
+// to moved rows under GranularityPage).
+func (db *DB) getOrCreateTable(name string, pageMaxKeys int) *table {
 	if pageMaxKeys <= 0 {
 		pageMaxKeys = db.opts.PageMaxKeys
 	}
 	db.tmu.Lock()
 	defer db.tmu.Unlock()
-	if _, ok := db.tables[name]; !ok {
-		db.tables[name] = db.newTable(name, pageMaxKeys)
+	tb := db.tables[name]
+	if tb == nil {
+		tb = db.newTable(name, pageMaxKeys)
+		db.tables[name] = tb
 	}
+	return tb
 }
 
 func (db *DB) newTable(name string, pageMaxKeys int) *table {
@@ -208,13 +228,7 @@ func (db *DB) table(name string) *table {
 	if tb != nil {
 		return tb
 	}
-	db.tmu.Lock()
-	defer db.tmu.Unlock()
-	if tb = db.tables[name]; tb == nil {
-		tb = db.newTable(name, db.opts.PageMaxKeys)
-		db.tables[name] = tb
-	}
-	return tb
+	return db.getOrCreateTable(name, 0)
 }
 
 // Begin starts a transaction at the given isolation level. Per thesis §4.5
