@@ -45,6 +45,8 @@ func main() {
 		csvPath    = flag.String("csv", "", "also write results as CSV to this file")
 		scaling    = flag.Bool("scaling", false, "run the lock-shard scaling sweep instead of the paper figures")
 		shardList  = flag.String("shards", "1,4,16,64", "comma-separated shard counts for -scaling")
+		isoName    = flag.String("iso", "SSI", "isolation level for -scaling: SI, SSI or S2PL")
+		waitStats  = flag.Bool("waitstats", false, "print lock-wait instrumentation per -scaling cell")
 	)
 	flag.Parse()
 
@@ -57,13 +59,20 @@ func main() {
 				os.Exit(2)
 			}
 		}
-		runScaling(*shardList, *mplList, *duration, *warmup, *trials, openCSV(*csvPath))
+		iso, ok := parseIso(*isoName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ssibench: unknown isolation %q (want SI, SSI or S2PL)\n", *isoName)
+			os.Exit(2)
+		}
+		runScaling(*shardList, *mplList, iso, *waitStats, *duration, *warmup, *trials, openCSV(*csvPath))
 		return
 	}
-	if flagWasSet("shards") {
-		// Symmetric with the check above: -shards only drives -scaling.
-		fmt.Fprintln(os.Stderr, "ssibench: -shards requires -scaling")
-		os.Exit(2)
+	for _, f := range []string{"shards", "iso", "waitstats"} {
+		// Symmetric with the check above: these flags only drive -scaling.
+		if flagWasSet(f) {
+			fmt.Fprintf(os.Stderr, "ssibench: -%s requires -scaling\n", f)
+			os.Exit(2)
+		}
 	}
 
 	scale := figures.QuickScale()
@@ -135,10 +144,28 @@ func runFigures(selected []harness.Figure, mpls []int, duration, warmup time.Dur
 	}
 }
 
+// parseIso maps the -iso flag to an isolation level.
+func parseIso(name string) (ssidb.Isolation, bool) {
+	switch strings.ToUpper(strings.TrimSpace(name)) {
+	case "SI":
+		return ssidb.SnapshotIsolation, true
+	case "SSI":
+		return ssidb.SerializableSI, true
+	case "S2PL":
+		return ssidb.S2PL, true
+	}
+	return 0, false
+}
+
 // runScaling sweeps lock-table shard counts against MPL on the kvmix
-// workload at SerializableSI and prints a throughput matrix: rows are MPL,
-// columns are shard counts. shards=1 is the paper's global-latch baseline.
-func runScaling(shardList, mplList string, duration, warmup time.Duration, trials int, csv *os.File) {
+// workload at the selected isolation level and prints a throughput matrix:
+// rows are MPL, columns are shard counts. shards=1 is the paper's
+// global-latch baseline. With waitStats each cell is followed by the lock
+// manager's wait instrumentation — how the blocked acquires resolved (spin
+// grant versus park), targeted wakeups per park, and cumulative parked
+// time — which is the number to watch for S2PL, whose blocking waits are
+// the contended path the spin-then-park redesign exists for.
+func runScaling(shardList, mplList string, iso ssidb.Isolation, waitStats bool, duration, warmup time.Duration, trials int, csv *os.File) {
 	shards := parseInts(shardList, "shards")
 	mpls := parseInts(mplList, "mpl")
 	if mpls == nil {
@@ -146,10 +173,10 @@ func runScaling(shardList, mplList string, duration, warmup time.Duration, trial
 	}
 	if csv != nil {
 		defer csv.Close()
-		fmt.Fprintf(csv, "mpl,shards,tps,ci95,commits,deadlocks,conflicts,unsafe\n")
+		fmt.Fprintf(csv, "iso,mpl,shards,tps,ci95,commits,deadlocks,conflicts,unsafe,timeouts,lockwaits,spingrants,parks,wakeups,waitms\n")
 	}
 
-	fmt.Println("== Lock-shard scaling sweep (kvmix, SerializableSI) ==")
+	fmt.Printf("== Lock-shard scaling sweep (kvmix, %s) ==\n", iso)
 	fmt.Println("   commits/s by MPL (rows) and lock shard count (columns);")
 	fmt.Println("   shards=1 is the paper's single lock-table latch.")
 	fmt.Printf("%-6s", "MPL")
@@ -162,6 +189,7 @@ func runScaling(shardList, mplList string, duration, warmup time.Duration, trial
 	opts := harness.Options{Duration: duration, Warmup: warmup, Trials: trials, Seed: 1}
 	for _, mpl := range mpls {
 		fmt.Printf("%-6d", mpl)
+		var cellStats []ssidb.Stats
 		for _, s := range shards {
 			db := ssidb.Open(ssidb.Options{Detector: ssidb.DetectorPrecise, LockShards: s})
 			if err := kvmix.Load(db, cfg); err != nil {
@@ -170,19 +198,49 @@ func runScaling(shardList, mplList string, duration, warmup time.Duration, trial
 			}
 			o := opts
 			o.MPL = mpl
-			res := harness.Run(kvmix.Worker(db, ssidb.SerializableSI, cfg), o)
+			// Report wait counters for the measured window only — the
+			// cumulative DB counters also cover loading and warmup, which
+			// the tps/commits columns exclude. With -trials > 1 the window
+			// is the last trial's.
+			var base ssidb.Stats
+			o.OnMeasureStart = func() { base = db.StatsSnapshot() }
+			res := harness.Run(kvmix.Worker(db, iso, cfg), o)
+			st := waitDelta(db.StatsSnapshot(), base)
+			cellStats = append(cellStats, st)
 			cell := fmt.Sprintf("%.0f", res.TPS)
 			if res.TPSCI95 > 0 {
 				cell += fmt.Sprintf("±%.0f", res.TPSCI95)
 			}
 			fmt.Printf("%14s", cell)
 			if csv != nil {
-				fmt.Fprintf(csv, "%d,%d,%.1f,%.1f,%d,%d,%d,%d\n",
-					mpl, s, res.TPS, res.TPSCI95, res.Commits, res.Deadlocks, res.Conflicts, res.Unsafe)
+				fmt.Fprintf(csv, "%s,%d,%d,%.1f,%.1f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.1f\n",
+					iso, mpl, s, res.TPS, res.TPSCI95, res.Commits, res.Deadlocks, res.Conflicts, res.Unsafe,
+					res.Timeouts, st.LockWaits, st.LockSpinGrants, st.LockParks, st.LockWakeups,
+					float64(st.LockWaitTime)/float64(time.Millisecond))
 			}
 		}
 		fmt.Println()
+		if waitStats {
+			for i, s := range shards {
+				st := cellStats[i]
+				fmt.Printf("       shards=%-4d waits=%-8d spin=%-8d parks=%-8d wakeups=%-8d timeouts=%-4d wait=%v\n",
+					s, st.LockWaits, st.LockSpinGrants, st.LockParks, st.LockWakeups, st.LockTimeouts,
+					st.LockWaitTime.Round(time.Millisecond))
+			}
+		}
 	}
+}
+
+// waitDelta returns after with its cumulative lock-wait counters rebased to
+// the measured window that began at base.
+func waitDelta(after, base ssidb.Stats) ssidb.Stats {
+	after.LockWaits -= base.LockWaits
+	after.LockSpinGrants -= base.LockSpinGrants
+	after.LockParks -= base.LockParks
+	after.LockWakeups -= base.LockWakeups
+	after.LockTimeouts -= base.LockTimeouts
+	after.LockWaitTime -= base.LockWaitTime
+	return after
 }
 
 func parseInts(list, what string) []int {

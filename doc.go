@@ -21,10 +21,18 @@
 // made SSI production-ready in PostgreSQL (Ports & Grittner, VLDB 2012):
 //
 //   - internal/lock hash-stripes the lock table into GOMAXPROCS-scaled
-//     shards (ssidb.Options.LockShards), each with its own mutex, condition
-//     variables and ownership bookkeeping; deadlock detection lives in a
-//     dedicated cross-shard waits-for graph touched only by blocked
-//     requests.
+//     shards (ssidb.Options.LockShards), each with its own mutex and
+//     ownership bookkeeping; deadlock detection lives in a dedicated
+//     cross-shard waits-for graph touched only by parked requests. The
+//     contended path is spin-then-park: a blocked acquire probes briefly
+//     before registering anywhere, then joins a per-entry FIFO queue whose
+//     releases hand the lock directly to — and wake only — the waiters
+//     that can now be granted. ssidb.Options.LockWaitTimeout bounds how
+//     long a parked request may wait (failing with ErrLockTimeout), and
+//     the wait path is instrumented end to end: ssidb.Stats reports
+//     blocked acquires, spin grants versus parks, targeted wakeups,
+//     timeouts and cumulative wait time (printed by ssibench -scaling
+//     -waitstats).
 //   - internal/core replaces the kernel mutex with an atomic clock, a
 //     two-store commit-serialization point, a conflict mutex taken only by
 //     SerializableSI transactions, and an id-sharded active-transaction

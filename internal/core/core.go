@@ -121,6 +121,10 @@ var (
 	// ErrDeadlock reports that the lock manager chose this transaction as a
 	// deadlock victim.
 	ErrDeadlock = errors.New("ssi: deadlock detected")
+	// ErrLockTimeout reports that a blocked lock request waited longer than
+	// the configured lock-wait timeout and was withdrawn; the transaction
+	// is rolled back so a wedged lock holder cannot hang the system.
+	ErrLockTimeout = errors.New("ssi: lock wait timeout exceeded")
 	// ErrTxnDone reports use of a transaction after Commit or Abort.
 	ErrTxnDone = errors.New("ssi: transaction already committed or aborted")
 )

@@ -32,6 +32,7 @@ type Counts struct {
 	Deadlocks uint64 // lock-wait cycles (mostly S2PL)
 	Conflicts uint64 // First-Committer-Wins update conflicts
 	Unsafe    uint64 // Serializable SI dangerous-structure aborts
+	Timeouts  uint64 // lock waits abandoned via Options.LockWaitTimeout
 	Rollbacks uint64 // application-initiated aborts (e.g. TPC-C's 1%)
 	Other     uint64
 }
@@ -46,6 +47,8 @@ func (c *Counts) add(err error) {
 		atomic.AddUint64(&c.Conflicts, 1)
 	case errors.Is(err, ssidb.ErrUnsafe):
 		atomic.AddUint64(&c.Unsafe, 1)
+	case errors.Is(err, ssidb.ErrLockTimeout):
+		atomic.AddUint64(&c.Timeouts, 1)
 	case errors.Is(err, ErrRollback):
 		atomic.AddUint64(&c.Rollbacks, 1)
 	default:
@@ -55,7 +58,7 @@ func (c *Counts) add(err error) {
 
 // Aborts is the total number of aborted transactions of all classes.
 func (c Counts) Aborts() uint64 {
-	return c.Deadlocks + c.Conflicts + c.Unsafe + c.Rollbacks + c.Other
+	return c.Deadlocks + c.Conflicts + c.Unsafe + c.Timeouts + c.Rollbacks + c.Other
 }
 
 // ErrRollback marks an application-initiated rollback (counted separately
@@ -103,6 +106,11 @@ type Options struct {
 	Warmup   time.Duration
 	Trials   int // default 1
 	Seed     int64
+	// OnMeasureStart, if set, runs once per trial at the instant the
+	// measurement window opens (after warmup). Callers use it to snapshot
+	// cumulative engine counters so they can report measured-window deltas
+	// instead of including warmup traffic.
+	OnMeasureStart func()
 }
 
 // Run measures fn at the configured MPL. Each of the MPL workers loops,
@@ -126,6 +134,7 @@ func Run(fn TxnFunc, opts Options) Result {
 		total.Deadlocks += counts.Deadlocks
 		total.Conflicts += counts.Conflicts
 		total.Unsafe += counts.Unsafe
+		total.Timeouts += counts.Timeouts
 		total.Rollbacks += counts.Rollbacks
 		total.Other += counts.Other
 		total.Elapsed += elapsed
@@ -142,6 +151,9 @@ func runOnce(fn TxnFunc, opts Options, trial int64) (Counts, time.Duration) {
 	var wg sync.WaitGroup
 
 	measuring.Store(opts.Warmup == 0)
+	if opts.Warmup == 0 && opts.OnMeasureStart != nil {
+		opts.OnMeasureStart()
+	}
 	for w := 0; w < opts.MPL; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -163,6 +175,9 @@ func runOnce(fn TxnFunc, opts Options, trial int64) (Counts, time.Duration) {
 	if opts.Warmup > 0 {
 		time.Sleep(opts.Warmup)
 		measuring.Store(true)
+		if opts.OnMeasureStart != nil {
+			opts.OnMeasureStart()
+		}
 	}
 	start := time.Now()
 	time.Sleep(opts.Duration)
@@ -307,8 +322,8 @@ func Describe(r Result) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s mpl=%d tps=%.0f commits=%d", r.Isolation, r.MPL, r.TPS, r.Commits)
 	if a := r.Aborts(); a > 0 {
-		fmt.Fprintf(&b, " aborts[dl=%d cf=%d us=%d rb=%d other=%d]",
-			r.Deadlocks, r.Conflicts, r.Unsafe, r.Rollbacks, r.Other)
+		fmt.Fprintf(&b, " aborts[dl=%d cf=%d us=%d to=%d rb=%d other=%d]",
+			r.Deadlocks, r.Conflicts, r.Unsafe, r.Timeouts, r.Rollbacks, r.Other)
 	}
 	return b.String()
 }

@@ -2,6 +2,7 @@ package lock
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"ssi/internal/core"
@@ -35,6 +36,33 @@ func BenchmarkSIReadBatch100(b *testing.B) {
 		m.AcquireSIReadBatch(t, keys)
 		m.ReleaseAll(t)
 	}
+}
+
+// BenchmarkHandoffPingPong measures the contended path end to end: two
+// owners alternate an exclusive lock on one key, so nearly every acquire
+// blocks and every release hands the lock off (by spin grant or park).
+func BenchmarkHandoffPingPong(b *testing.B) {
+	mgr := core.NewManager(core.DetectorPrecise)
+	m := NewManager(true)
+	k := RowKey("t", []byte("pp"))
+	var wg sync.WaitGroup
+	iters := b.N
+	b.ResetTimer()
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				t := mgr.Begin(core.S2PL)
+				if _, err := m.Acquire(t, k, Exclusive); err != nil {
+					b.Error(err)
+					return
+				}
+				m.ReleaseAll(t)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // BenchmarkHotEntryRivalCheck measures the counter fast path: many SIREAD

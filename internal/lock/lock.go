@@ -21,6 +21,21 @@
 // waits-for graph component (waitsfor.go) consulted only when a request must
 // block; the uncontended fast path touches nothing global.
 //
+// # Contended path: spin, then park with direct handoff
+//
+// A blocked Acquire first spins briefly — re-probing the entry with the
+// shard mutex dropped between probes — and touches no global state at all;
+// most short waits (an SI write lock held across a few operations) resolve
+// here. Only a request that outlives the spin parks: it registers its edges
+// in the waits-for graph (running immediate deadlock detection) and joins
+// the entry's FIFO wait queue. Releases sweep that queue in order and hand
+// the lock directly to the waiters that can now be granted, waking only
+// those — the Broadcast-herd of the first sharded design, where every
+// release woke every waiter to re-fight for the shard mutex and re-register
+// its edges, is gone, and FIFO handoff doubles as anti-starvation. A
+// configurable wait timeout (SetWaitTimeout) bounds how long a parked
+// request can be wedged behind a stuck holder.
+//
 // The manager detects deadlocks immediately with a waits-for graph search and
 // aborts the requester, implements shared→exclusive upgrades, and supports
 // the SIREAD→EXCLUSIVE upgrade optimisation of thesis §3.7.3 (dropping the
@@ -33,8 +48,10 @@ package lock
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ssi/internal/core"
 )
@@ -164,8 +181,9 @@ func rivalOf(req Mode, held Mode) bool {
 
 type entry struct {
 	holders map[*core.Txn]Mode
-	cond    *sync.Cond
-	waiters int
+	// q is the FIFO queue of parked waiters (waitqueue.go). Spinning
+	// requests are invisible here; a request appears only once it parks.
+	q waitQueue
 	// Per-mode holder counts let hot entries (a B+tree root page can carry
 	// an SIREAD lock from every recent transaction) answer "any blocker?"
 	// and "any rival?" without iterating the holders map.
@@ -201,13 +219,29 @@ type shard struct {
 	idx   int // position in Manager.shards, used for deadlock-free pair locking
 	mu    sync.Mutex
 	table map[Key]*entry
-	waits uint64 // acquires on this shard that had to block
+
+	// Wait-path instrumentation, guarded by mu. waits counts acquires that
+	// found a blocker at all; spinGrants the subset resolved during the
+	// bounded spin (never touching the waits-for graph); parks the subset
+	// that enqueued and slept; wakeups the handoff signals delivered
+	// (grants plus deadlock verdicts — with direct handoff, wakeups per
+	// grant is one by construction, which is exactly what this counter
+	// exists to prove); timeouts the parks withdrawn by LockWaitTimeout;
+	// waitNanos the cumulative parked time (spin time is deliberately not
+	// clocked — reading the clock would burden the short-wait path the
+	// spin exists to keep cheap).
+	waits      uint64
+	spinGrants uint64
+	parks      uint64
+	wakeups    uint64
+	timeouts   uint64
+	waitNanos  uint64
 
 	// Pad the struct to 128 bytes: that size class is allocated at
 	// 128-byte slot boundaries, so each shard's mutex is guaranteed its
 	// own cache line (a 64-byte struct would merely make line-sharing
 	// with a neighbouring allocation unlikely, not impossible).
-	_ [96]byte
+	_ [56]byte
 }
 
 func newShard(idx int) *shard {
@@ -273,7 +307,17 @@ type Manager struct {
 	shards []*shard
 	mask   uint32
 	wfg    *waitGraph
+
+	// waitTimeout bounds how long a parked Acquire sleeps before giving up
+	// with core.ErrLockTimeout; zero waits forever. Set once before the
+	// manager sees concurrent use (SetWaitTimeout).
+	waitTimeout time.Duration
 }
+
+// SetWaitTimeout installs the bound on how long a blocked Acquire may stay
+// parked before failing with core.ErrLockTimeout; zero (the default) waits
+// forever. Must be called before the manager is used concurrently.
+func (m *Manager) SetWaitTimeout(d time.Duration) { m.waitTimeout = d }
 
 // DefaultShards is the shard count NewManager uses: core.ShardCount's
 // GOMAXPROCS-scaled default, shared with the transaction registry.
@@ -329,64 +373,153 @@ func (m *Manager) shardOf(key Key) *shard {
 	return m.shards[h&m.mask]
 }
 
+// acquireSpins is the bounded spin budget of a blocked Acquire: how many
+// times it re-probes the entry (yielding the processor and the shard mutex
+// between probes) before parking. Short lock holds — the common case for
+// SI write locks and for S2PL rows locked late in a transaction — drain
+// within a few scheduler yields, and a spin-grant touches neither the
+// waits-for graph nor any wait-queue state. The spin is adaptive in one
+// respect: a request that must queue behind an already-parked conflicting
+// waiter cannot be granted however long it spins, so it parks immediately.
+const acquireSpins = 4
+
 // Acquire obtains a lock of the given mode on key for owner, blocking while
 // incompatible locks are held by others. It returns the set of current
 // holders whose locks signal a read-write conflict with this request (SIREAD
 // holders for an EXCLUSIVE request, EXCLUSIVE holders for an SIREAD
 // request), captured atomically with the grant; the caller is responsible
 // for overlap filtering and conflict marking. Acquire fails with
-// core.ErrDeadlock if waiting would close a cycle in the waits-for graph.
+// core.ErrDeadlock if waiting would close a cycle in the waits-for graph,
+// and with core.ErrLockTimeout if a configured SetWaitTimeout elapses while
+// parked.
 //
 // Re-acquiring a held mode is a no-op. An owner holding Shared that requests
-// Exclusive upgrades in place once other holders drain.
+// Exclusive upgrades in place once other holders drain; upgrades wait only
+// on holders, while fresh requests also queue behind parked conflicting
+// waiters (FIFO, so a stream of compatible requests cannot starve a parked
+// incompatible one).
 func (m *Manager) Acquire(owner *core.Txn, key Key, mode Mode) (rivals []*core.Txn, err error) {
 	os := stateFor(owner)
 	s := m.shardOf(key)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 
-	e := s.table[key]
-	if e == nil {
-		e = &entry{holders: make(map[*core.Txn]Mode)}
-		e.cond = sync.NewCond(&s.mu)
-		s.table[key] = e
-	}
-
-	if e.holders[owner]&mode == mode {
-		return rivalsLocked(e, owner, mode), nil // already held
-	}
-	if mode == SIRead && e.holders[owner]&Exclusive != 0 && m.upgradeable(key) {
-		// Already upgraded: the exclusive lock subsumes the read lock's
-		// conflict-detection role (our new version is the signal).
-		return nil, nil
-	}
-
-	waited := false
+	spins := 0
+	blocked := false
 	for {
-		blockers := blockersLocked(e, owner, key, mode)
-		if len(blockers) == 0 {
-			break
+		// Re-fetched each probe: the entry can be deleted and recreated
+		// while the spin loop is off the shard mutex.
+		e := s.table[key]
+		if e == nil {
+			e = &entry{holders: make(map[*core.Txn]Mode)}
+			s.table[key] = e
 		}
-		// Register the wait in the cross-shard graph and look for a
-		// deadlock cycle through us. The shard mutex is still held, so the
-		// blocker set cannot go stale before the edges are recorded.
-		if !m.wfg.setWaits(owner, blockers) {
+
+		if e.holders[owner]&mode == mode {
+			rivals = rivalsLocked(e, owner, mode) // already held
+			s.mu.Unlock()
+			return rivals, nil
+		}
+		if mode == SIRead && e.holders[owner]&Exclusive != 0 && m.upgradeable(key) {
+			// Already upgraded: the exclusive lock subsumes the read lock's
+			// conflict-detection role (our new version is the signal).
+			s.mu.Unlock()
+			return nil, nil
+		}
+
+		conv := e.holders[owner]&(Shared|Exclusive) != 0
+		waitSet := waitSetLocked(e, owner, key, mode, conv, nil)
+		if len(waitSet) == 0 {
+			if blocked {
+				s.spinGrants++
+			}
+			rivals = rivalsLocked(e, owner, mode)
+			m.grantLocked(os, e, owner, key, mode)
+			if conv && e.q.n > 0 {
+				// A conversion grant can newly block parked waiters (an
+				// upgrade slips past the queue by design); refresh their
+				// waits-for edges — and their grantability — now. Fresh
+				// grants never can: blocksOn is symmetric, so a request
+				// that would block a parked waiter would have conflicted
+				// with it in waitSetLocked and parked behind it instead.
+				m.sweepLocked(s, e)
+			}
+			s.mu.Unlock()
+			return rivals, nil
+		}
+		if !blocked {
+			blocked = true
+			s.waits++ // count blocked acquires, not probe iterations
+		}
+
+		if spins < acquireSpins && (conv || e.q.n == 0) {
+			spins++
+			s.mu.Unlock()
+			runtime.Gosched()
+			s.mu.Lock()
+			continue
+		}
+
+		// Park: register the wait in the cross-shard graph — while the
+		// shard mutex is still held, so the blocker set cannot go stale and
+		// no cycle through a sleeping waiter can be missed — then enqueue
+		// and sleep until a sweep hands the lock over.
+		w := getWaiter()
+		w.owner, w.os, w.key, w.mode, w.conv = owner, os, key, mode, conv
+		if !m.wfg.register(w, waitSet) {
+			// No entry GC needed: a non-empty waitSet implies a conflicting
+			// holder or a parked waiter, so the entry is in use.
+			putWaiter(w)
+			s.mu.Unlock()
 			return nil, core.ErrDeadlock
 		}
-		if !waited {
-			s.waits++ // count blocked acquires, not wait-loop iterations
-		}
-		waited = true
-		e.waiters++
-		e.cond.Wait()
-		e.waiters--
+		e.q.enqueue(w)
+		s.parks++
+		s.mu.Unlock()
+		return m.await(s, w)
 	}
-	if waited {
-		m.wfg.clear(owner)
+}
+
+// await sleeps on w's handoff channel after Acquire parked it, bounded by
+// the manager's wait timeout. The grant itself (lock installation, rival
+// capture, edge removal) was done by the sweeping goroutine; await only
+// collects the outcome. On timeout the request is withdrawn: dequeued,
+// deregistered from the waits-for graph, and failed with ErrLockTimeout so
+// one wedged holder cannot hang the system forever.
+func (m *Manager) await(s *shard, w *waiter) ([]*core.Txn, error) {
+	start := time.Now()
+	var timeoutC <-chan time.Time
+	if m.waitTimeout > 0 {
+		timer := time.NewTimer(m.waitTimeout)
+		defer timer.Stop()
+		timeoutC = timer.C
+	}
+	select {
+	case <-w.ready:
+	case <-timeoutC:
 	}
 
-	rivals = rivalsLocked(e, owner, mode)
-	m.grantLocked(os, e, owner, key, mode)
+	s.mu.Lock()
+	s.waitNanos += uint64(time.Since(start))
+	if !w.granted && !w.deadlock {
+		// Timed out, and no signal raced in before we retook the mutex:
+		// withdraw. Later waiters may have queued behind this request, so
+		// sweep the entry after removing it.
+		e := s.table[w.key]
+		e.q.remove(w)
+		m.wfg.drop(w)
+		s.timeouts++
+		m.sweepLocked(s, e)
+		gcEntryLocked(s, w.key, e)
+		s.mu.Unlock()
+		putWaiter(w)
+		return nil, core.ErrLockTimeout
+	}
+	granted, rivals := w.granted, w.rivals
+	s.mu.Unlock()
+	putWaiter(w)
+	if !granted {
+		return nil, core.ErrDeadlock
+	}
 	return rivals, nil
 }
 
@@ -584,14 +717,23 @@ func (m *Manager) releaseKeyLocked(s *shard, os *ownerState, owner *core.Txn, ke
 	e.countModes(held, rest)
 	if rest == 0 {
 		delete(e.holders, owner)
-		if len(e.holders) == 0 && e.waiters == 0 {
-			delete(s.table, key)
-		}
 	} else {
 		e.holders[owner] = rest
 	}
-	if held&(Shared|Exclusive) != 0 && e.waiters > 0 {
-		e.cond.Broadcast()
+	if held&(Shared|Exclusive) != 0 && e.q.n > 0 {
+		// Dropping a blocking mode can unblock parked waiters: sweep the
+		// FIFO queue, handing the lock directly to — and waking only —
+		// waiters that can now be granted.
+		m.sweepLocked(s, e)
+	}
+	gcEntryLocked(s, key, e)
+}
+
+// gcEntryLocked removes key's entry once nothing holds or waits on it; the
+// caller holds the shard mutex.
+func gcEntryLocked(s *shard, key Key, e *entry) {
+	if len(e.holders) == 0 && e.q.n == 0 {
+		delete(s.table, key)
 	}
 }
 
@@ -634,7 +776,6 @@ func (m *Manager) sireadBatchLocked(s *shard, os *ownerState, owner *core.Txn, k
 		e := s.table[key]
 		if e == nil {
 			e = &entry{holders: make(map[*core.Txn]Mode)}
-			e.cond = sync.NewCond(&s.mu)
 			s.table[key] = e
 		}
 		held := e.holders[owner]
@@ -688,7 +829,6 @@ func (m *Manager) InheritSIRead(src, dst Key) {
 			de = ds.table[dst]
 			if de == nil {
 				de = &entry{holders: make(map[*core.Txn]Mode)}
-				de.cond = sync.NewCond(&ds.mu)
 				ds.table[dst] = de
 			}
 		}
@@ -756,14 +896,29 @@ func (m *Manager) Holds(owner *core.Txn, key Key, mode Mode) bool {
 }
 
 // Stats reports the table census, used to verify that SIREAD cleanup keeps
-// the lock table bounded (the concern of thesis §4.3.1/§4.6.1). Counters are
-// aggregated across shards: Keys is exact (keys partition across shards) and
-// Owners is deduplicated (one owner usually holds keys in several shards).
+// the lock table bounded (the concern of thesis §4.3.1/§4.6.1), plus the
+// cumulative wait-path instrumentation of the contended Acquire. Counters
+// are aggregated across shards: Keys is exact (keys partition across
+// shards) and Owners is deduplicated (one owner usually holds keys in
+// several shards).
 type Stats struct {
-	Keys   int    // distinct locked keys
-	Owners int    // distinct owners holding at least one lock
-	Shards int    // configured shard count
-	Waits  uint64 // acquires that had to block, cumulative
+	Keys   int // distinct locked keys
+	Owners int // distinct owners holding at least one lock
+	Shards int // configured shard count
+
+	// Waits counts acquires that found any blocker; SpinGrants the subset
+	// resolved during the bounded spin (no graph registration, no park);
+	// Parks the subset that enqueued and slept. Wakeups counts handoff
+	// signals delivered — with targeted wakeups this tracks grants one to
+	// one, where the old Broadcast design woke every waiter on every
+	// release. Timeouts counts parks withdrawn by the wait timeout, and
+	// WaitTime is the cumulative parked duration.
+	Waits      uint64
+	SpinGrants uint64
+	Parks      uint64
+	Wakeups    uint64
+	Timeouts   uint64
+	WaitTime   time.Duration
 }
 
 // StatsSnapshot returns current counters aggregated across all shards. The
@@ -776,6 +931,11 @@ func (m *Manager) StatsSnapshot() Stats {
 		s.mu.Lock()
 		st.Keys += len(s.table)
 		st.Waits += s.waits
+		st.SpinGrants += s.spinGrants
+		st.Parks += s.parks
+		st.Wakeups += s.wakeups
+		st.Timeouts += s.timeouts
+		st.WaitTime += time.Duration(s.waitNanos)
 		for _, e := range s.table {
 			for o := range e.holders {
 				owners[o] = struct{}{}

@@ -352,7 +352,16 @@ func TestManyWaitersWakeUp(t *testing.T) {
 			}
 		}(i)
 	}
-	time.Sleep(20 * time.Millisecond)
+	// Release only after every waiter has hit the blocker (each increments
+	// Waits on its first blocked probe, spinning or parked) — a fixed sleep
+	// would let a slow-to-schedule waiter acquire the freed lock unblocked.
+	deadline := time.Now().Add(2 * time.Second)
+	for m.StatsSnapshot().Waits < 8 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of 8 waiters blocked", m.StatsSnapshot().Waits)
+		}
+		time.Sleep(time.Millisecond)
+	}
 	m.ReleaseBlocking(txns[0])
 	done := make(chan struct{})
 	go func() { wg.Wait(); close(done) }()
@@ -360,5 +369,17 @@ func TestManyWaitersWakeUp(t *testing.T) {
 	case <-done:
 	case <-time.After(2 * time.Second):
 		t.Fatal("shared waiters not all granted after exclusive release")
+	}
+	// Every blocked acquire must be accounted for as a spin grant or a
+	// parked handoff, and handoffs deliver one wakeup per grant.
+	st := m.StatsSnapshot()
+	if st.Waits != 8 {
+		t.Fatalf("Waits = %d, want 8", st.Waits)
+	}
+	if st.SpinGrants+st.Parks != st.Waits {
+		t.Fatalf("spin grants (%d) + parks (%d) != blocked acquires (%d)", st.SpinGrants, st.Parks, st.Waits)
+	}
+	if st.Wakeups != st.Parks {
+		t.Fatalf("Wakeups = %d, want one per park (%d)", st.Wakeups, st.Parks)
 	}
 }

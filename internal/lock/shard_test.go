@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"ssi/internal/core"
 )
@@ -68,6 +69,54 @@ func TestCrossShardDeadlock(t *testing.T) {
 	}
 	if deadlocks < 1 {
 		t.Fatal("cross-shard deadlock not detected")
+	}
+}
+
+// TestCrossShardDeadlockBeatsTimeout pins the precedence of the two escape
+// hatches: when a genuine cross-shard cycle exists, immediate deadlock
+// detection must fire (choosing a victim) rather than both transactions
+// stalling until the wait timeout — the timeout is only for non-cycle
+// wedges.
+func TestCrossShardDeadlockBeatsTimeout(t *testing.T) {
+	mgr := core.NewManager(core.DetectorBasic)
+	m := NewManagerShards(true, 8)
+	m.SetWaitTimeout(10 * time.Second) // far beyond the test's patience
+	kx, ky := crossShardKeys(t, m)
+	txns := []*core.Txn{mgr.Begin(core.S2PL), mgr.Begin(core.S2PL)}
+	if _, err := m.Acquire(txns[0], kx, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Acquire(txns[1], ky, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 2)
+	for i, want := range []Key{ky, kx} {
+		go func(i int, want Key) {
+			_, err := m.Acquire(txns[i], want, Exclusive)
+			if err != nil {
+				m.ReleaseAll(txns[i])
+			}
+			errs <- err
+		}(i, want)
+	}
+	deadlocks := 0
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			if errors.Is(err, core.ErrDeadlock) {
+				deadlocks++
+			} else if err != nil {
+				t.Fatalf("unexpected error %v", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("cycle not broken: waiters stalled toward the timeout")
+		}
+	}
+	if deadlocks < 1 {
+		t.Fatal("cross-shard deadlock not detected")
+	}
+	if st := m.StatsSnapshot(); st.Timeouts != 0 {
+		t.Fatalf("deadlock resolved by timeout (%d), not detection", st.Timeouts)
 	}
 }
 

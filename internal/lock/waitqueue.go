@@ -1,0 +1,201 @@
+package lock
+
+import (
+	"sync"
+
+	"ssi/internal/core"
+)
+
+// This file implements the contended half of Acquire: the per-entry FIFO
+// wait queue and the direct-handoff grant protocol.
+//
+// The first implementation of the sharded lock table parked every blocked
+// request on a per-entry condition variable and woke the whole herd with
+// Broadcast on each release. Under S2PL at high multiprogramming that is a
+// latch convoy: every wakeup re-acquires the shard mutex, re-scans the
+// holder map, re-registers its waits-for edges (allocating a fresh edge map
+// under the global graph mutex each time), and usually goes back to sleep.
+// The paper's own production story hit the same wall — Ports & Grittner
+// (VLDB 2012) describe replacing PostgreSQL's SIREAD bookkeeping broadcast
+// paths with targeted wakeups when productionising SSI.
+//
+// The redesign: a blocked request first spins briefly (dropping the shard
+// mutex between probes) and touches no shared wait state at all; only when
+// the spin fails does it enqueue a waiter record in the entry's FIFO queue
+// and register its waits-for edges — always before sleeping, so immediate
+// deadlock detection never misses a parked cycle. A release (or a grant
+// that can change who blocks whom) sweeps the queue in FIFO order, grants
+// every waiter that is now compatible *on the waiter's behalf* (installing
+// the lock and capturing its rival set under the same shard-mutex hold),
+// and signals exactly those waiters: one wakeup per grant, no herd. FIFO
+// order plus the rule that a fresh request may not overtake a parked
+// conflicting one gives anti-starvation for free.
+type waiter struct {
+	owner *core.Txn
+	os    *ownerState
+	key   Key
+	mode  Mode
+	// conv marks a conversion: the owner already holds a blocking-relevant
+	// mode (Shared or Exclusive) on the entry. Conversions wait on holders
+	// only — queueing an upgrade behind a waiter that is itself blocked by
+	// the upgrader's held mode would deadlock — and therefore also bypass
+	// the no-overtaking rule. Stable while parked: the owner's goroutine is
+	// asleep and nothing else can release its blocking modes.
+	conv bool
+
+	// edges is the blocker set currently registered for owner in the
+	// waits-for graph — the same map the graph holds, kept here so sweeps
+	// can compare-and-skip without touching the graph mutex. It is read
+	// under the shard mutex of key's shard and mutated only while holding
+	// both that shard mutex and the graph mutex, so either mutex alone
+	// makes a read safe.
+	edges map[*core.Txn]bool
+
+	// Outcome, written under the shard mutex before ready is signalled.
+	granted  bool
+	deadlock bool
+	rivals   []*core.Txn
+
+	// ready carries the single handoff signal (grant or deadlock verdict).
+	// Buffered so the signaller never blocks; a waiter receives at most one
+	// signal per park because it is dequeued before being signalled.
+	ready chan struct{}
+
+	prev, next *waiter
+}
+
+var waiterPool = sync.Pool{New: func() any { return &waiter{ready: make(chan struct{}, 1)} }}
+
+func getWaiter() *waiter {
+	return waiterPool.Get().(*waiter)
+}
+
+// putWaiter returns w to the pool. The ready channel is drained first: a
+// grant signal may have raced a timeout and been left pending.
+func putWaiter(w *waiter) {
+	select {
+	case <-w.ready:
+	default:
+	}
+	w.owner, w.os, w.key = nil, nil, Key{}
+	w.mode, w.conv = 0, false
+	w.edges = nil
+	w.granted, w.deadlock = false, false
+	w.rivals = nil
+	w.prev, w.next = nil, nil
+	waiterPool.Put(w)
+}
+
+// waitQueue is an intrusive FIFO list of parked waiters, one per entry.
+type waitQueue struct {
+	head, tail *waiter
+	n          int
+}
+
+func (q *waitQueue) enqueue(w *waiter) {
+	w.prev = q.tail
+	w.next = nil
+	if q.tail != nil {
+		q.tail.next = w
+	} else {
+		q.head = w
+	}
+	q.tail = w
+	q.n++
+}
+
+func (q *waitQueue) remove(w *waiter) {
+	if w.prev != nil {
+		w.prev.next = w.next
+	} else {
+		q.head = w.next
+	}
+	if w.next != nil {
+		w.next.prev = w.prev
+	} else {
+		q.tail = w.prev
+	}
+	w.prev, w.next = nil, nil
+	q.n--
+}
+
+// waitSetLocked returns who a request must wait for: every conflicting
+// holder, plus — for fresh (non-conversion) requests — the nearest parked
+// waiter ahead in the queue whose requested mode conflicts. One queue edge
+// suffices for deadlock detection because every parked waiter keeps its own
+// edges registered, so cycles close transitively; sweeps recompute the set
+// whenever the queue or holder set changes, so the edge never goes stale.
+// before bounds the queue scan: the waiter's own record during a sweep, nil
+// (the whole queue) for a request that has not parked yet. The returned
+// slice is duplicate-free so edge-set comparison can be a length check plus
+// membership probes.
+func waitSetLocked(e *entry, owner *core.Txn, key Key, mode Mode, conv bool, before *waiter) []*core.Txn {
+	out := blockersLocked(e, owner, key, mode)
+	if conv {
+		return out
+	}
+	for w := e.q.head; w != nil && w != before; w = w.next {
+		if w.owner == owner || !blocksOn(key.Kind, mode, w.mode) {
+			continue
+		}
+		if !containsTxn(out, w.owner) {
+			out = append(out, w.owner)
+		}
+		break // nearest conflicting predecessor only
+	}
+	return out
+}
+
+func containsTxn(ts []*core.Txn, t *core.Txn) bool {
+	for _, x := range ts {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}
+
+// sweepLocked walks e's wait queue in FIFO order after anything that could
+// change who blocks whom (a release of a blocking mode, a grant made while
+// waiters are parked, a timed-out withdrawal): it grants and signals every
+// waiter that is now unblocked, refreshes the waits-for edges of those that
+// remain (skipping the graph entirely when a waiter's blocker set is
+// unchanged), and aborts a waiter as deadlock victim if its refreshed edges
+// close a cycle. The caller holds s.mu; grants made inside the sweep are
+// visible to the recomputation of every later waiter, preserving FIFO
+// semantics within one pass.
+func (m *Manager) sweepLocked(s *shard, e *entry) {
+	for again := true; again; {
+		again = false
+		for w := e.q.head; w != nil && !again; {
+			next := w.next
+			ws := waitSetLocked(e, w.owner, w.key, w.mode, w.conv, w)
+			switch {
+			case len(ws) == 0:
+				e.q.remove(w)
+				w.rivals = rivalsLocked(e, w.owner, w.mode)
+				m.grantLocked(w.os, e, w.owner, w.key, w.mode)
+				m.wfg.drop(w)
+				w.granted = true
+				s.wakeups++
+				w.ready <- struct{}{}
+				// A granted conversion can newly block waiters *earlier*
+				// in the queue (e.g. a gap-mode SIREAD holder upgrading to
+				// Exclusive past a parked insert intention), which a single
+				// forward pass would leave with stale edges; restart so
+				// every remaining waiter recomputes against the new holder
+				// set. Fresh grants cannot (blocksOn is symmetric: a
+				// request that would block a parked waiter would have
+				// queued behind it), so only conversions pay the restart.
+				// Terminates: each restart follows a dequeue.
+				again = w.conv && e.q.head != nil
+			case !m.wfg.update(w, ws):
+				e.q.remove(w)
+				w.deadlock = true
+				s.wakeups++
+				w.ready <- struct{}{}
+			}
+			w = next
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package lock
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"ssi/internal/core"
+)
+
+// waitForParks polls the manager until n acquires have parked (or fails the
+// test after two seconds). The spin phase makes park entry asynchronous, so
+// tests that need "everyone is asleep now" synchronise on the counter.
+func waitForParks(t *testing.T, m *Manager, n uint64) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for m.StatsSnapshot().Parks < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d acquires parked", m.StatsSnapshot().Parks, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestLockWaitTimeout(t *testing.T) {
+	_, txns := newTxns(3)
+	m := NewManager(true)
+	m.SetWaitTimeout(50 * time.Millisecond)
+	k := RowKey("t", []byte("x"))
+	if _, err := m.Acquire(txns[0], k, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err := m.Acquire(txns[1], k, Shared)
+	if !errors.Is(err, core.ErrLockTimeout) {
+		t.Fatalf("blocked acquire returned %v, want ErrLockTimeout", err)
+	}
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Fatalf("timed out after %v, before the 50ms timeout", d)
+	}
+	st := m.StatsSnapshot()
+	if st.Timeouts != 1 || st.Parks != 1 {
+		t.Fatalf("stats after timeout: %+v, want Timeouts=1 Parks=1", st)
+	}
+	// The withdrawn request must leave no residue: the entry still works
+	// for others and drains fully.
+	m.ReleaseAll(txns[0])
+	if _, err := m.Acquire(txns[2], k, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(txns[2])
+	m.ReleaseAll(txns[1])
+	if s := m.StatsSnapshot(); s.Keys != 0 || s.Owners != 0 {
+		t.Fatalf("lock table not empty after timeout episode: %+v", s)
+	}
+}
+
+// TestHerdWakeupTargeted pins the release protocol: one exclusive holder,
+// eight parked shared waiters, one release. Direct handoff must deliver
+// exactly one wakeup per grant, and the only waits-for-graph traffic during
+// the wakeup is each grant dropping its own edges — no re-registration
+// storm, no per-wakeup map churn.
+func TestHerdWakeupTargeted(t *testing.T) {
+	const herd = 8
+	_, txns := newTxns(herd + 1)
+	m := NewManagerShards(true, 4)
+	k := RowKey("t", []byte("hot"))
+	if _, err := m.Acquire(txns[0], k, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 1; i <= herd; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := m.Acquire(txns[i], k, Shared); err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+			}
+		}(i)
+	}
+	waitForParks(t, m, herd)
+
+	before := m.wfg.locks.Load()
+	m.ReleaseBlocking(txns[0])
+	wg.Wait()
+	if got := m.wfg.locks.Load() - before; got != herd {
+		t.Fatalf("graph-mutex acquisitions during herd wakeup = %d, want %d (one edge drop per grant)", got, herd)
+	}
+	st := m.StatsSnapshot()
+	if st.Wakeups != herd {
+		t.Fatalf("Wakeups = %d, want %d (one targeted wakeup per grant)", st.Wakeups, herd)
+	}
+	if st.Parks != herd || st.WaitTime <= 0 {
+		t.Fatalf("stats after herd wakeup: %+v", st)
+	}
+}
+
+// TestUnchangedBlockerSetSkipsGraph pins the compare-and-skip of waiter
+// edge refreshing: a grant that sweeps the queue without changing a parked
+// waiter's blocker set must not touch the waits-for-graph mutex at all.
+func TestUnchangedBlockerSetSkipsGraph(t *testing.T) {
+	_, txns := newTxns(2)
+	m := NewManagerShards(true, 1)
+	k := RowKey("t", []byte("x"))
+	if _, err := m.Acquire(txns[0], k, Shared); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.Acquire(txns[1], k, Exclusive)
+		done <- err
+	}()
+	waitForParks(t, m, 1)
+
+	// The upgrade is granted immediately (no other holder) and sweeps the
+	// queue; txns[1]'s blocker set is {txns[0]} before and after, so the
+	// sweep must skip the graph.
+	before := m.wfg.locks.Load()
+	if _, err := m.Acquire(txns[0], k, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.wfg.locks.Load() - before; got != 0 {
+		t.Fatalf("graph-mutex acquisitions for unchanged blocker set = %d, want 0", got)
+	}
+
+	m.ReleaseAll(txns[0])
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(txns[1])
+	if s := m.StatsSnapshot(); s.Keys != 0 || s.Owners != 0 {
+		t.Fatalf("lock table did not drain: %+v", s)
+	}
+}
+
+// TestFIFONoOvertake pins the anti-starvation rule: a fresh shared request
+// must queue behind a parked exclusive waiter even while the currently held
+// mode (shared) is compatible with it.
+func TestFIFONoOvertake(t *testing.T) {
+	_, txns := newTxns(3)
+	m := NewManagerShards(true, 1)
+	k := RowKey("t", []byte("x"))
+	if _, err := m.Acquire(txns[0], k, Shared); err != nil {
+		t.Fatal(err)
+	}
+	gotX := make(chan error, 1)
+	go func() {
+		_, err := m.Acquire(txns[1], k, Exclusive)
+		gotX <- err
+	}()
+	waitForParks(t, m, 1)
+
+	gotS := make(chan error, 1)
+	go func() {
+		_, err := m.Acquire(txns[2], k, Shared)
+		gotS <- err
+	}()
+	waitForParks(t, m, 2) // the shared request parked instead of barging
+	select {
+	case <-gotS:
+		t.Fatal("shared request overtook a parked exclusive waiter")
+	default:
+	}
+
+	// First release: the exclusive waiter (head of queue) gets the lock;
+	// the shared request keeps waiting on it.
+	m.ReleaseAll(txns[0])
+	if err := <-gotX; err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-gotS:
+		t.Fatal("shared request granted while exclusive head holds the lock")
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.ReleaseAll(txns[1])
+	if err := <-gotS; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(txns[2])
+	if s := m.StatsSnapshot(); s.Keys != 0 || s.Owners != 0 {
+		t.Fatalf("lock table did not drain: %+v", s)
+	}
+}
+
+// TestUncontendedNeverTouchesGraph pins the fast path: acquires that never
+// block register nothing in the waits-for graph.
+func TestUncontendedNeverTouchesGraph(t *testing.T) {
+	_, txns := newTxns(4)
+	m := NewManager(true)
+	for i, txn := range txns {
+		if _, err := m.Acquire(txn, RowKey("t", []byte{byte(i)}), Exclusive); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Acquire(txn, RowKey("t", []byte("shared")), SIRead); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.wfg.locks.Load(); got != 0 {
+		t.Fatalf("graph-mutex acquisitions on uncontended path = %d, want 0", got)
+	}
+	st := m.StatsSnapshot()
+	if st.Waits != 0 || st.Parks != 0 {
+		t.Fatalf("uncontended stats: %+v", st)
+	}
+	for _, txn := range txns {
+		m.ReleaseAll(txn)
+	}
+}
+
+// TestSpinGrantSkipsPark exercises the spin phase: a blocker that releases
+// almost immediately should usually be absorbed by the bounded spin, and a
+// spin grant must not register in the waits-for graph. The scheduling is
+// not fully deterministic, so the test asserts the accounting identity
+// (every blocked acquire resolves as spin grant, park, or timeout) and that
+// at least one spin grant occurred across many quick handoffs.
+func TestSpinGrantSkipsPark(t *testing.T) {
+	mgr, _ := newTxns(0)
+	m := NewManagerShards(true, 1)
+	k := RowKey("t", []byte("x"))
+	for i := 0; i < 200; i++ {
+		holder := mgr.Begin(core.S2PL)
+		if _, err := m.Acquire(holder, k, Exclusive); err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() {
+			contender := mgr.Begin(core.S2PL)
+			_, err := m.Acquire(contender, k, Exclusive)
+			m.ReleaseAll(contender)
+			done <- err
+		}()
+		runtime.Gosched()    // let the contender hit the held lock first
+		m.ReleaseAll(holder) // released while the contender probes
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := m.StatsSnapshot()
+	if st.SpinGrants+st.Parks+st.Timeouts < st.Waits {
+		t.Fatalf("blocked acquires unaccounted for: %+v", st)
+	}
+	if st.Waits > 0 && st.SpinGrants == 0 {
+		t.Fatalf("no spin grants across %d blocked acquires: %+v", st.Waits, st)
+	}
+}

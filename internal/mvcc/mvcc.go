@@ -234,14 +234,20 @@ func (tb *Table) Rollback(t *core.Txn, key []byte) {
 // horizon. Tombstone chains whose visible version is the tombstone keep it
 // (the thesis notes tombstones are reclaimed once no transaction could read
 // the last live version; we keep the tombstone itself as the chain marker).
+//
+// An earlier version of this function only pruned chains of at least 8
+// versions, to amortise the horizon lookup — but that gate meant a hot key
+// rewritten by short transactions kept up to 7 dead pre-horizon versions
+// forever. The cut point keeps the newest committed-before-horizon version
+// and drops everything older, so a prune can only remove anything when at
+// least two versions sit below the (always uncommitted) head — that is the
+// gate now, and it also bounds the horizon lookups (a scan over the
+// registry's shard watermarks) to writes where pruning could pay: the
+// steady-state two-version chain of a single-writer hot key skips the
+// lookup entirely.
 func (tb *Table) pruneChainLocked(c *chain) {
-	const pruneThreshold = 8
-	n := 0
-	for v := c.head; v != nil; v = v.Older {
-		n++
-	}
-	if n < pruneThreshold {
-		return
+	if c.head == nil || c.head.Older == nil || c.head.Older.Older == nil {
+		return // at most one version below the head: nothing can be cut
 	}
 	h := tb.horizon()
 	for v := c.head; v != nil; v = v.Older {

@@ -220,6 +220,50 @@ func TestChainPruning(t *testing.T) {
 	}
 }
 
+func (f *fixture) chainLen(key string) int {
+	f.tb.mu.RLock()
+	defer f.tb.mu.RUnlock()
+	cv, ok := f.tb.tree.Get([]byte(key))
+	if !ok {
+		return 0
+	}
+	n := 0
+	for v := cv.(*chain).head; v != nil; v = v.Older {
+		n++
+	}
+	return n
+}
+
+// TestShortHotChainPruned is the regression test for a pruning bug: prune
+// only considered chains of at least 8 versions, so a hot key rewritten by
+// short transactions kept up to 7 dead pre-horizon versions forever. Any
+// write that stacks a version on a chain whose older versions sit below the
+// advanced watermark must prune them, regardless of chain length.
+func TestShortHotChainPruned(t *testing.T) {
+	f := newFixture()
+	// Five committed rewrites of one key, each fully before the next — the
+	// watermark advances past every one of them.
+	for i := 0; i < 5; i++ {
+		f.put(t, "hot", fmt.Sprintf("v%d", i))
+	}
+	// A sixth write with no concurrent readers: everything below the newest
+	// committed version is pre-horizon garbage and must go now, not at
+	// version 8.
+	txn := f.m.Begin(core.SnapshotIsolation)
+	f.m.AssignSnapshot(txn)
+	f.tb.Write(txn, []byte("hot"), []byte("final"), false, nil)
+	if n := f.chainLen("hot"); n > 2 {
+		t.Fatalf("short hot chain kept %d versions; want <= 2 (uncommitted head + visible version)", n)
+	}
+	f.commit(t, txn)
+	// The surviving state is still correct.
+	r := f.m.Begin(core.SnapshotIsolation)
+	snap := f.m.AssignSnapshot(r)
+	if res := f.tb.Read(r, snap, []byte("hot")); string(res.Value) != "final" {
+		t.Fatalf("after pruning read %q, want \"final\"", res.Value)
+	}
+}
+
 func TestScanVisitsInvisibleKeys(t *testing.T) {
 	f := newFixture()
 	f.put(t, "a", "1")

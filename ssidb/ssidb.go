@@ -28,8 +28,9 @@
 //		return tx.Put("accounts", []byte("alice"), newBalance(v))
 //	})
 //
-// Errors ErrUnsafe, ErrWriteConflict and ErrDeadlock mean the transaction
-// was aborted and should be retried by the application.
+// Errors ErrUnsafe, ErrWriteConflict, ErrDeadlock and ErrLockTimeout mean
+// the transaction was aborted and should be retried by the application
+// (IsAbort classifies them).
 package ssidb
 
 import (
@@ -82,7 +83,12 @@ var (
 	ErrUnsafe        = core.ErrUnsafe
 	ErrWriteConflict = core.ErrWriteConflict
 	ErrDeadlock      = core.ErrDeadlock
-	ErrTxnDone       = core.ErrTxnDone
+	// ErrLockTimeout reports that a blocking lock request waited longer
+	// than Options.LockWaitTimeout. The transaction has been rolled back;
+	// whatever held the lock may still be wedged, but this transaction (and
+	// the locks it held) no longer contribute to the pile-up.
+	ErrLockTimeout = core.ErrLockTimeout
+	ErrTxnDone     = core.ErrTxnDone
 	// ErrKeyExists reports an Insert of a key that is already visibly
 	// present. It does not abort the transaction.
 	ErrKeyExists = errors.New("ssi: key already exists")
@@ -91,7 +97,8 @@ var (
 // IsAbort reports whether err is one of the abort-class errors after which
 // the transaction has been rolled back and may be retried.
 func IsAbort(err error) bool {
-	return errors.Is(err, ErrUnsafe) || errors.Is(err, ErrWriteConflict) || errors.Is(err, ErrDeadlock)
+	return errors.Is(err, ErrUnsafe) || errors.Is(err, ErrWriteConflict) ||
+		errors.Is(err, ErrDeadlock) || errors.Is(err, ErrLockTimeout)
 }
 
 // Recorder receives the database's operation history. It exists so tests can
@@ -129,6 +136,12 @@ type Options struct {
 	// a different stripe. One shard reproduces the paper's single lock-table
 	// latch, useful as a contention baseline.
 	LockShards int
+	// LockWaitTimeout bounds how long a blocking lock request (S2PL reads,
+	// write locks at every level) may wait before the transaction is
+	// aborted with ErrLockTimeout. Zero, the default, waits forever —
+	// deadlocks are still detected immediately either way; the timeout
+	// exists for the non-cycle hazard of a holder that is simply stuck.
+	LockWaitTimeout time.Duration
 	// DisableSIReadUpgrade turns off the §3.7.3 optimisation that discards
 	// a transaction's SIREAD lock once it acquires EXCLUSIVE on the same
 	// key. Used by ablation benchmarks.
@@ -172,6 +185,7 @@ func Open(opts Options) *DB {
 		log:    wal.NewLog(opts.FlushLatency),
 		tables: make(map[string]*table),
 	}
+	db.locks.SetWaitTimeout(opts.LockWaitTimeout)
 	return db
 }
 
@@ -286,13 +300,28 @@ func (db *DB) afterCleanup(cleaned []*core.Txn) {
 }
 
 // Stats is a census of internal state, used by tests to verify that
-// suspended-transaction cleanup keeps bookkeeping bounded (thesis §4.6.1).
+// suspended-transaction cleanup keeps bookkeeping bounded (thesis §4.6.1)
+// and by benchmarks to report lock-wait behaviour.
 type Stats struct {
 	ActiveTxns    int
 	SuspendedTxns int
 	LockedKeys    int
 	LockOwners    int
 	LogFlushes    uint64
+
+	// Lock-wait instrumentation, cumulative since Open. LockWaits counts
+	// lock requests that found a blocker; LockSpinGrants the subset that
+	// resolved during the lock manager's bounded spin; LockParks the subset
+	// that slept on the wait queue; LockWakeups the targeted handoff
+	// signals delivered (≈ one per granted parked request); LockTimeouts
+	// the waits abandoned via Options.LockWaitTimeout; LockWaitTime the
+	// cumulative parked duration.
+	LockWaits      uint64
+	LockSpinGrants uint64
+	LockParks      uint64
+	LockWakeups    uint64
+	LockTimeouts   uint64
+	LockWaitTime   time.Duration
 }
 
 // StatsSnapshot returns current counters.
@@ -301,11 +330,17 @@ func (db *DB) StatsSnapshot() Stats {
 	ls := db.locks.StatsSnapshot()
 	ws := db.log.StatsSnapshot()
 	return Stats{
-		ActiveTxns:    cs.Active,
-		SuspendedTxns: cs.Suspended,
-		LockedKeys:    ls.Keys,
-		LockOwners:    ls.Owners,
-		LogFlushes:    ws.Flushes,
+		ActiveTxns:     cs.Active,
+		SuspendedTxns:  cs.Suspended,
+		LockedKeys:     ls.Keys,
+		LockOwners:     ls.Owners,
+		LogFlushes:     ws.Flushes,
+		LockWaits:      ls.Waits,
+		LockSpinGrants: ls.SpinGrants,
+		LockParks:      ls.Parks,
+		LockWakeups:    ls.Wakeups,
+		LockTimeouts:   ls.Timeouts,
+		LockWaitTime:   ls.WaitTime,
 	}
 }
 
