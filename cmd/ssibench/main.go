@@ -47,6 +47,7 @@ func main() {
 		shardList  = flag.String("shards", "1,4,16,64", "comma-separated shard counts for -scaling")
 		isoName    = flag.String("iso", "SSI", "isolation level for -scaling: SI, SSI or S2PL")
 		waitStats  = flag.Bool("waitstats", false, "print lock-wait instrumentation per -scaling cell")
+		storage    = flag.Bool("storage", false, "with -scaling: sweep the row-store partition count (Options.TableShards) on the read-heavy kvmix mix instead of the lock-table shard count")
 	)
 	flag.Parse()
 
@@ -64,10 +65,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ssibench: unknown isolation %q (want SI, SSI or S2PL)\n", *isoName)
 			os.Exit(2)
 		}
-		runScaling(*shardList, *mplList, iso, *waitStats, *duration, *warmup, *trials, openCSV(*csvPath))
+		runScaling(*shardList, *mplList, iso, *storage, *waitStats, *duration, *warmup, *trials, openCSV(*csvPath))
 		return
 	}
-	for _, f := range []string{"shards", "iso", "waitstats"} {
+	for _, f := range []string{"shards", "iso", "waitstats", "storage"} {
 		// Symmetric with the check above: these flags only drive -scaling.
 		if flagWasSet(f) {
 			fmt.Fprintf(os.Stderr, "ssibench: -%s requires -scaling\n", f)
@@ -157,41 +158,63 @@ func parseIso(name string) (ssidb.Isolation, bool) {
 	return 0, false
 }
 
-// runScaling sweeps lock-table shard counts against MPL on the kvmix
-// workload at the selected isolation level and prints a throughput matrix:
-// rows are MPL, columns are shard counts. shards=1 is the paper's
-// global-latch baseline. With waitStats each cell is followed by the lock
-// manager's wait instrumentation — how the blocked acquires resolved (spin
-// grant versus park), targeted wakeups per park, and cumulative parked
-// time — which is the number to watch for S2PL, whose blocking waits are
-// the contended path the spin-then-park redesign exists for.
-func runScaling(shardList, mplList string, iso ssidb.Isolation, waitStats bool, duration, warmup time.Duration, trials int, csv *os.File) {
+// runScaling sweeps a shard-count axis against MPL on the kvmix workload at
+// the selected isolation level and prints a throughput matrix: rows are MPL,
+// columns are shard counts.
+//
+// The default axis is the lock-table shard count (shards=1 is the paper's
+// single lock-table latch). With storage it is instead the row store's
+// partition count (Options.TableShards, tshards=1 being the single-tree
+// store) on the read-heavy kvmix mix, whose point reads and merged scans
+// exercise the partitioned B+trees rather than the lock manager.
+//
+// With waitStats each cell is followed by the lock manager's wait
+// instrumentation — how the blocked acquires resolved (spin grant versus
+// park), targeted wakeups per park, and cumulative parked time — which is
+// the number to watch for S2PL, whose blocking waits are the contended path
+// the spin-then-park redesign exists for.
+func runScaling(shardList, mplList string, iso ssidb.Isolation, storage, waitStats bool, duration, warmup time.Duration, trials int, csv *os.File) {
 	shards := parseInts(shardList, "shards")
 	mpls := parseInts(mplList, "mpl")
 	if mpls == nil {
 		mpls = []int{1, 2, 4, 8, 16, 32, 64}
 	}
+	axis, col := "lock", "shards"
+	cfg := kvmix.DefaultConfig()
+	if storage {
+		axis, col = "table", "tshards"
+		cfg = kvmix.ReadHeavyConfig()
+	}
 	if csv != nil {
 		defer csv.Close()
-		fmt.Fprintf(csv, "iso,mpl,shards,tps,ci95,commits,deadlocks,conflicts,unsafe,timeouts,lockwaits,spingrants,parks,wakeups,waitms\n")
+		fmt.Fprintf(csv, "axis,iso,mpl,shards,tps,ci95,commits,deadlocks,conflicts,unsafe,timeouts,lockwaits,spingrants,parks,wakeups,waitms\n")
 	}
 
-	fmt.Printf("== Lock-shard scaling sweep (kvmix, %s) ==\n", iso)
-	fmt.Println("   commits/s by MPL (rows) and lock shard count (columns);")
-	fmt.Println("   shards=1 is the paper's single lock-table latch.")
+	if storage {
+		fmt.Printf("== Row-store partition scaling sweep (read-heavy kvmix, %s) ==\n", iso)
+		fmt.Println("   commits/s by MPL (rows) and table partition count (columns);")
+		fmt.Println("   tshards=1 is the single-tree single-latch store.")
+	} else {
+		fmt.Printf("== Lock-shard scaling sweep (kvmix, %s) ==\n", iso)
+		fmt.Println("   commits/s by MPL (rows) and lock shard count (columns);")
+		fmt.Println("   shards=1 is the paper's single lock-table latch.")
+	}
 	fmt.Printf("%-6s", "MPL")
 	for _, s := range shards {
-		fmt.Printf("%14s", fmt.Sprintf("shards=%d", s))
+		fmt.Printf("%14s", fmt.Sprintf("%s=%d", col, s))
 	}
 	fmt.Println()
 
-	cfg := kvmix.DefaultConfig()
 	opts := harness.Options{Duration: duration, Warmup: warmup, Trials: trials, Seed: 1}
 	for _, mpl := range mpls {
 		fmt.Printf("%-6d", mpl)
 		var cellStats []ssidb.Stats
 		for _, s := range shards {
-			db := ssidb.Open(ssidb.Options{Detector: ssidb.DetectorPrecise, LockShards: s})
+			dbOpts := ssidb.Options{Detector: ssidb.DetectorPrecise, LockShards: s}
+			if storage {
+				dbOpts = ssidb.Options{Detector: ssidb.DetectorPrecise, TableShards: s}
+			}
+			db := ssidb.Open(dbOpts)
 			if err := kvmix.Load(db, cfg); err != nil {
 				fmt.Fprintf(os.Stderr, "ssibench: %v\n", err)
 				os.Exit(1)
@@ -213,8 +236,8 @@ func runScaling(shardList, mplList string, iso ssidb.Isolation, waitStats bool, 
 			}
 			fmt.Printf("%14s", cell)
 			if csv != nil {
-				fmt.Fprintf(csv, "%s,%d,%d,%.1f,%.1f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.1f\n",
-					iso, mpl, s, res.TPS, res.TPSCI95, res.Commits, res.Deadlocks, res.Conflicts, res.Unsafe,
+				fmt.Fprintf(csv, "%s,%s,%d,%d,%.1f,%.1f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.1f\n",
+					axis, iso, mpl, s, res.TPS, res.TPSCI95, res.Commits, res.Deadlocks, res.Conflicts, res.Unsafe,
 					res.Timeouts, st.LockWaits, st.LockSpinGrants, st.LockParks, st.LockWakeups,
 					float64(st.LockWaitTime)/float64(time.Millisecond))
 			}

@@ -37,10 +37,29 @@
 //     two-store commit-serialization point, a conflict mutex taken only by
 //     SerializableSI transactions, and an id-sharded active-transaction
 //     registry whose pruning watermark (OldestActiveSnapshot) is a handful
-//     of atomic loads.
+//     of atomic loads. Transaction ends that advance the watermark fire a
+//     hook (SetWatermarkHook) the storage layer uses to schedule garbage
+//     reclamation.
+//   - internal/mvcc hash-partitions every table's row store into
+//     GOMAXPROCS-scaled partitions (ssidb.Options.TableShards), each an
+//     independently latched B+tree with its own page write-stamp registry
+//     and a disjoint page-number range, so point reads and writes on
+//     different partitions share no latch while page-granularity locking,
+//     split SIREAD inheritance and page-level First-Committer-Wins keep
+//     their per-tree semantics. Ordered scans are a k-way merge over the
+//     per-partition trees under all partition latches (taken in a fixed
+//     order, shared; structural inserts take them all exclusively so
+//     next-key gap inheritance stays atomic with key visibility across
+//     partitions). Version pruning is off the write path entirely:
+//     superseded-version counters trigger chunked vacuum sweeps against the
+//     OldestActiveSnapshot watermark (also reachable as ssidb.DB.Vacuum),
+//     which cut version chains and expire page write-stamps without
+//     stalling readers. The table directory itself is an atomic
+//     copy-on-write map — resolving a table name costs one atomic load.
 //
-// The scaling benchmarks (scaling_bench_test.go, `ssibench -scaling`)
-// measure this axis — commit throughput versus parallelism and shard count
-// on a low-conflict workload — complementing the paper's figures, which
-// measure contention regimes.
+// The scaling benchmarks (scaling_bench_test.go, `ssibench -scaling` for
+// the lock axis, `ssibench -scaling -storage` for the row-store partition
+// axis) measure commit throughput versus parallelism and shard count on
+// low-conflict workloads, complementing the paper's figures, which measure
+// contention regimes.
 package ssi

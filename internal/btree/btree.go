@@ -21,10 +21,12 @@ import (
 
 // Tree is a B+tree from byte-slice keys to arbitrary values.
 type Tree struct {
-	maxKeys  int
-	root     *node
-	nextPage uint32
-	size     int
+	maxKeys   int
+	root      *node
+	nextPage  uint32
+	pageBase  uint32
+	pageLimit uint32 // exclusive upper bound on page numbers; 0 = none
+	size      int
 
 	// OnSplit, if set, is called whenever a page split moves keys from an
 	// existing page to a newly allocated one. The engine uses it to inherit
@@ -51,15 +53,29 @@ const DefaultMaxKeys = 64
 // page-granularity engine mode, coarser conflict probability per page —
 // the knob behind the SmallBank contention experiments.
 func New(maxKeys int) *Tree {
+	return NewWithPageBase(maxKeys, 0, 0)
+}
+
+// NewWithPageBase is New with page numbers allocated starting at pageBase+1
+// and bounded by pageLimit (exclusive; 0 means unbounded). A partitioned
+// table gives each partition's tree a disjoint page-number range, so
+// page-granularity lock keys and write stamps never collide across
+// partitions while staying meaningful within one; the limit turns an
+// exhausted range into a crash instead of silently bleeding page numbers
+// into the next partition's range.
+func NewWithPageBase(maxKeys int, pageBase, pageLimit uint32) *Tree {
 	if maxKeys < 2 {
 		maxKeys = 2
 	}
-	t := &Tree{maxKeys: maxKeys, nextPage: 1}
+	t := &Tree{maxKeys: maxKeys, pageBase: pageBase, pageLimit: pageLimit, nextPage: pageBase + 1}
 	t.root = t.newNode(true)
 	return t
 }
 
 func (t *Tree) newNode(leaf bool) *node {
+	if t.pageLimit != 0 && t.nextPage >= t.pageLimit {
+		panic(fmt.Sprintf("btree: page range [%d, %d) exhausted", t.pageBase+1, t.pageLimit))
+	}
 	n := &node{page: t.nextPage}
 	t.nextPage++
 	if !leaf {
@@ -241,17 +257,56 @@ func (t *Tree) splitInterior(n *node) (bool, []byte, *node) {
 // false. The callback also receives the leaf page number, which
 // page-granularity scans lock.
 func (t *Tree) Ascend(from []byte, fn func(key []byte, val any, page uint32) bool) {
+	for it := t.IterFrom(from); it.Valid(); it.Next() {
+		if !fn(it.Key(), it.Value(), it.Page()) {
+			return
+		}
+	}
+}
+
+// Iter is a forward iterator over the tree's keys in ascending order. It is
+// positioned on one key (Valid reports whether one remains) and advanced with
+// Next. An Iter is only valid while the tree is unmodified; the merged scans
+// above hold every partition latch for the iterator's whole lifetime.
+type Iter struct {
+	n *node
+	i int
+}
+
+// IterFrom returns an iterator positioned at the smallest key ≥ from.
+func (t *Tree) IterFrom(from []byte) Iter {
 	n := t.findLeaf(from, nil)
 	i, _ := keyIndex(n.keys, from)
-	for n != nil {
-		for ; i < len(n.keys); i++ {
-			if !fn(n.keys[i], n.vals[i], n.page) {
-				return
-			}
-		}
-		n = n.next
-		i = 0
+	it := Iter{n: n, i: i}
+	it.skipExhausted()
+	return it
+}
+
+// skipExhausted advances past leaves with no remaining keys (the positioned
+// leaf when from is past its last key, and empty root leaves).
+func (it *Iter) skipExhausted() {
+	for it.n != nil && it.i >= len(it.n.keys) {
+		it.n = it.n.next
+		it.i = 0
 	}
+}
+
+// Valid reports whether the iterator is positioned on a key.
+func (it *Iter) Valid() bool { return it.n != nil }
+
+// Key returns the current key. Only valid when Valid.
+func (it *Iter) Key() []byte { return it.n.keys[it.i] }
+
+// Value returns the current value. Only valid when Valid.
+func (it *Iter) Value() any { return it.n.vals[it.i] }
+
+// Page returns the page number of the leaf holding the current key.
+func (it *Iter) Page() uint32 { return it.n.page }
+
+// Next advances to the next key in order.
+func (it *Iter) Next() {
+	it.i++
+	it.skipExhausted()
 }
 
 // Successor returns the smallest key strictly greater than key. Used by the
@@ -271,7 +326,7 @@ func (t *Tree) Successor(key []byte) ([]byte, bool) {
 }
 
 // PageCount returns the number of pages allocated so far (monotonic).
-func (t *Tree) PageCount() int { return int(t.nextPage - 1) }
+func (t *Tree) PageCount() int { return int(t.nextPage - 1 - t.pageBase) }
 
 // Check validates tree invariants (ordering, separator consistency, balance
 // of the leaf chain). It exists for tests and returns the first violation.

@@ -230,3 +230,89 @@ func TestLargeSequentialInsert(t *testing.T) {
 		t.Fatalf("visited %d of %d", i, n)
 	}
 }
+
+func TestIterFrom(t *testing.T) {
+	tr := New(4)
+	const n = 200
+	for _, i := range rand.New(rand.NewSource(7)).Perm(n) {
+		tr.GetOrInsert(key(i), i)
+	}
+	// Full iteration matches Ascend and is ordered.
+	var got []string
+	for it := tr.IterFrom(nil); it.Valid(); it.Next() {
+		if it.Page() != tr.LeafPage(it.Key()) {
+			t.Fatalf("Iter page %d != LeafPage %d", it.Page(), tr.LeafPage(it.Key()))
+		}
+		got = append(got, string(it.Key()))
+	}
+	if len(got) != n || !sort.StringsAreSorted(got) {
+		t.Fatalf("full iteration: %d keys, sorted=%v", len(got), sort.StringsAreSorted(got))
+	}
+	// Mid-range start: first key ≥ from, both for present and absent from.
+	for _, from := range [][]byte{key(50), []byte("k000050x"), key(n - 1), []byte("zzz")} {
+		it := tr.IterFrom(from)
+		want, ok := tr.Get(from)
+		_ = want
+		if bytes.Compare(from, key(n-1)) > 0 {
+			if it.Valid() {
+				t.Fatalf("IterFrom(%q) valid past the end", from)
+			}
+			continue
+		}
+		if !it.Valid() {
+			t.Fatalf("IterFrom(%q) not valid", from)
+		}
+		if bytes.Compare(it.Key(), from) < 0 {
+			t.Fatalf("IterFrom(%q) positioned at smaller key %q", from, it.Key())
+		}
+		if ok && !bytes.Equal(it.Key(), from) {
+			t.Fatalf("IterFrom(%q) skipped the present key, at %q", from, it.Key())
+		}
+	}
+	// Empty tree.
+	if it := New(4).IterFrom(nil); it.Valid() {
+		t.Fatal("iterator on empty tree is valid")
+	}
+}
+
+func TestPageBase(t *testing.T) {
+	const base = uint32(3) << 24
+	tr := NewWithPageBase(2, base, base+1<<24)
+	for i := 0; i < 20; i++ {
+		tr.GetOrInsert(key(i), i)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.PageCount(); got < 10 {
+		t.Fatalf("PageCount = %d, want the real allocation count despite the base", got)
+	}
+	seen := map[uint32]bool{}
+	for i := 0; i < 20; i++ {
+		pg := tr.LeafPage(key(i))
+		if pg <= base {
+			t.Fatalf("leaf page %d not offset by base %d", pg, base)
+		}
+		seen[pg] = true
+	}
+	for _, pg := range tr.PathPages(key(0)) {
+		if pg <= base {
+			t.Fatalf("path page %d below base", pg)
+		}
+	}
+	if len(seen) < 2 {
+		t.Fatal("expected several leaves at maxKeys=2")
+	}
+}
+
+func TestPageLimitPanics(t *testing.T) {
+	tr := NewWithPageBase(2, 0, 4) // room for the root and 3 more pages
+	defer func() {
+		if recover() == nil {
+			t.Fatal("exhausting the page range did not panic")
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		tr.GetOrInsert(key(i), i)
+	}
+}

@@ -292,6 +292,16 @@ type Manager struct {
 	// suspMu guards the suspended list and Txn.suspended flags.
 	suspMu    sync.Mutex
 	suspended []*Txn // committed but kept for conflict detection, in commit order
+
+	// watermarkHook, when set, is invoked (outside all Manager locks) when
+	// OldestActiveSnapshot is observed to have advanced at a transaction
+	// end. lastWM makes the notifications monotone and at-most-once per
+	// observed value; endTicks throttles the observation itself, so the
+	// per-end cost on the commit path is one counter increment, not a
+	// watermark scan.
+	watermarkHook func(TS)
+	lastWM        atomic.Uint64
+	endTicks      atomic.Uint64
 }
 
 // ShardCount is the shared shard-sizing policy for the engine's striped
@@ -312,6 +322,42 @@ func ShardCount(n int) int {
 		p <<= 1
 	}
 	return p
+}
+
+// FNV-1a, the shared shard-routing hash of the engine's hash-partitioned
+// structures (package lock's table stripes, package mvcc's row-store
+// partitions). Kept in one place so the routing function cannot silently
+// diverge between them.
+const (
+	fnvOffset32 uint32 = 2166136261
+	fnvPrime32  uint32 = 16777619
+)
+
+// Fnv32aInit returns the FNV-1a initial state.
+func Fnv32aInit() uint32 { return fnvOffset32 }
+
+// Fnv32aBytes folds b into h.
+func Fnv32aBytes(h uint32, b []byte) uint32 {
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= fnvPrime32
+	}
+	return h
+}
+
+// Fnv32aString folds s into h without converting it to a byte slice.
+func Fnv32aString(h uint32, s string) uint32 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= fnvPrime32
+	}
+	return h
+}
+
+// Fnv32aByte folds one byte into h.
+func Fnv32aByte(h uint32, b byte) uint32 {
+	h ^= uint32(b)
+	return h * fnvPrime32
 }
 
 // NewManager returns a Manager using the given conflict detector.
@@ -639,7 +685,9 @@ func (m *Manager) Finish(t *Txn, keep bool) (cleaned []*Txn) {
 		m.suspended = append(m.suspended, t)
 		m.suspMu.Unlock()
 	}
-	return m.sweep()
+	cleaned = m.sweep()
+	m.noteWatermark()
+	return cleaned
 }
 
 // Abort marks t aborted and removes it from the active set. Rollback and
@@ -651,7 +699,45 @@ func (m *Manager) Abort(t *Txn) (cleaned []*Txn) {
 		t.status.Store(int32(StatusAborted))
 	}
 	m.deregister(t)
-	return m.sweep()
+	cleaned = m.sweep()
+	m.noteWatermark()
+	return cleaned
+}
+
+// SetWatermarkHook installs fn to be called when transaction ends advance
+// the OldestActiveSnapshot watermark. Must be set before the Manager sees
+// concurrency (the engine installs it at Open). The hook runs on a
+// finishing transaction's goroutine, outside every Manager lock, with the
+// newly observed watermark; observed values are strictly increasing and
+// each is delivered at most once, though deliveries themselves may race
+// (a later value can be mid-flight while an earlier one is still running).
+// Observation is sampled — roughly every 16th transaction end — so advances
+// coalesce; hooks must still be cheap and hand real work elsewhere (the
+// engine's hook only checks vacuum trigger counters).
+func (m *Manager) SetWatermarkHook(fn func(TS)) { m.watermarkHook = fn }
+
+// noteWatermark reports an advanced watermark to the hook, deduplicated via
+// a monotone compare-and-swap so a value is never delivered twice. The
+// watermark scan runs on a sampling of ends only, keeping the common commit
+// path to one counter increment.
+func (m *Manager) noteWatermark() {
+	if m.watermarkHook == nil {
+		return
+	}
+	if m.endTicks.Add(1)&15 != 0 {
+		return
+	}
+	w := m.OldestActiveSnapshot()
+	for {
+		old := m.lastWM.Load()
+		if w <= old {
+			return
+		}
+		if m.lastWM.CompareAndSwap(old, w) {
+			m.watermarkHook(w)
+			return
+		}
+	}
 }
 
 // sweep removes and returns suspended transactions whose commit precedes

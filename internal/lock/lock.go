@@ -355,21 +355,10 @@ func (m *Manager) Shards() int { return len(m.shards) }
 
 // shardOf maps a key to its shard with FNV-1a over all key fields.
 func (m *Manager) shardOf(key Key) *shard {
-	const (
-		offset32 = 2166136261
-		prime32  = 16777619
-	)
-	h := uint32(offset32)
-	for i := 0; i < len(key.Table); i++ {
-		h ^= uint32(key.Table[i])
-		h *= prime32
-	}
-	h ^= uint32(key.Kind)
-	h *= prime32
-	for i := 0; i < len(key.K); i++ {
-		h ^= uint32(key.K[i])
-		h *= prime32
-	}
+	h := core.Fnv32aInit()
+	h = core.Fnv32aString(h, key.Table)
+	h = core.Fnv32aByte(h, byte(key.Kind))
+	h = core.Fnv32aString(h, key.K)
 	return m.shards[h&m.mask]
 }
 

@@ -7,10 +7,36 @@
 // creating transaction's record, which the core package publishes atomically
 // at commit. That mirrors the thesis prototypes, where a row/page version
 // points at its creating transaction (assumption 3 of §3.2).
+//
+// # Partitioned store
+//
+// A Table is hash-partitioned into power-of-two shards, each an independent
+// latch + B+tree + page-stamp registry, so point reads and writes on
+// different partitions never touch the same latch (the storage-engine
+// scaling move the paper delegates to its hosts, and the one PostgreSQL's
+// SSI relies on — Ports & Grittner, VLDB 2012). Each partition's tree
+// allocates page numbers from a disjoint range, so page-granularity lock
+// keys and write stamps keep their meaning: split inheritance and page-level
+// First-Committer-Wins operate within a partition exactly as they did within
+// the single tree.
+//
+// Ordered scans are a k-way merge over the per-partition trees, performed
+// while holding every partition latch in shared mode (ascending index order;
+// structural inserts take them all exclusively, see Write), which preserves
+// the engine's scan/insert atomicity argument across partitions.
+//
+// Version pruning is not done on the write path. Superseded versions are
+// counted per partition and reclaimed by a vacuum sweep driven by the
+// transaction manager's OldestActiveSnapshot watermark: once no active
+// snapshot can read a version, a chunked sweep (bounded latch holds) cuts it
+// out of its chain and expires the partition's page write stamps.
 package mvcc
 
 import (
+	"bytes"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"ssi/internal/btree"
 	"ssi/internal/core"
@@ -33,7 +59,7 @@ func (v *Version) committedAt() core.TS {
 	return 0
 }
 
-// chain is the version list for one key. Guarded by the owning Table latch.
+// chain is the version list for one key. Guarded by the owning shard latch.
 type chain struct {
 	head *Version
 }
@@ -55,33 +81,184 @@ type ReadResult struct {
 	NewerWriters []*core.Txn
 }
 
-// Table is one table: a latch-protected B+tree of version chains.
-type Table struct {
-	name string
-	mu   sync.RWMutex
-	tree *btree.Tree
+// pageShardShift positions the partition index in the high bits of every
+// page number, giving each partition 2^24 page ids of its own.
+const pageShardShift = 24
 
-	// horizon returns the oldest snapshot any active transaction could
-	// read at; versions superseded before it are pruned opportunistically.
-	horizon func() core.TS
+// DefaultVacuumEvery is the per-partition count of superseded versions that
+// triggers an asynchronous vacuum sweep of that partition.
+const DefaultVacuumEvery = 1024
+
+// ShardCount is the table-partition sizing policy: core.ShardCount's
+// rounding and clamping, but defaulting to GOMAXPROCS rather than 4× it —
+// unlike the lock table's stripes, partitions carry whole B+trees and every
+// ordered scan visits all of them, so there is no over-provisioning.
+func ShardCount(n int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return core.ShardCount(n)
 }
 
-// NewTable creates a table whose B+tree pages hold up to maxKeys keys.
-// horizon supplies the version-pruning watermark (typically
-// core.Manager.OldestActiveSnapshot).
-func NewTable(name string, maxKeys int, horizon func() core.TS) *Table {
-	return &Table{name: name, tree: btree.New(maxKeys), horizon: horizon}
+// Config sizes a Table.
+type Config struct {
+	// PageMaxKeys is the B+tree page capacity of each partition's tree.
+	PageMaxKeys int
+	// Shards is the partition count, normalised by ShardCount.
+	Shards int
+	// Horizon returns the oldest snapshot any active transaction could read
+	// at (typically core.Manager.OldestActiveSnapshot); versions and page
+	// stamps superseded before it are reclaimable.
+	Horizon func() core.TS
+	// VacuumEvery overrides DefaultVacuumEvery (values <= 0 keep the
+	// default). Small values make vacuum eager; tests use 1.
+	VacuumEvery int
+}
+
+// shard is one partition: an independently latched B+tree of version chains
+// plus its page write-stamp registry and vacuum bookkeeping.
+type shard struct {
+	mu     sync.RWMutex
+	tree   *btree.Tree
+	stamps *PageStamps
+
+	// dead estimates the partition's superseded (eventually reclaimable)
+	// versions since the last vacuum; crossing sweepGate triggers an async
+	// sweep. sweepGate starts at the table's vacuumEvery and rises to a
+	// quarter of the keys the last sweep visited, so a sweep (which walks
+	// the whole partition) always stands to reclaim a constant fraction of
+	// what it visits — without this, a wide partition of short chains would
+	// re-walk every key for each threshold's worth of garbage.
+	dead      atomic.Int64
+	sweepGate atomic.Int64
+	// sweepMu serialises sweeps of this partition (a synchronous Vacuum
+	// parks behind an in-flight async sweep instead of spinning);
+	// vacuuming additionally dedups the async triggers so noteDead never
+	// piles up goroutines.
+	sweepMu   sync.Mutex
+	vacuuming atomic.Bool
+	// stalled is set when a sweep could not reclaim (the watermark is
+	// pinned by an old snapshot); it suppresses write-path re-triggers
+	// until the watermark advances (MaybeVacuum clears it).
+	stalled atomic.Bool
+
+	_ [24]byte // keep neighbouring shard latches off one cache line
+}
+
+// Table is one table: a hash-partitioned set of latch-protected B+trees of
+// version chains.
+type Table struct {
+	name    string
+	shards  []*shard
+	mask    uint32
+	horizon func() core.TS
+
+	vacuumEvery int64
+	onSplit     func(oldPage, newPage uint32) // engine hook, may be nil
+
+	vacuumRuns     atomic.Uint64
+	versionsPruned atomic.Uint64
+	stampsPruned   atomic.Uint64
+}
+
+// NewTable creates a table partitioned per cfg.
+func NewTable(name string, cfg Config) *Table {
+	if cfg.PageMaxKeys <= 0 {
+		cfg.PageMaxKeys = btree.DefaultMaxKeys
+	}
+	if cfg.Horizon == nil {
+		cfg.Horizon = func() core.TS { return 0 } // nothing is ever reclaimable
+	}
+	n := ShardCount(cfg.Shards)
+	tb := &Table{
+		name:        name,
+		shards:      make([]*shard, n),
+		mask:        uint32(n - 1),
+		horizon:     cfg.Horizon,
+		vacuumEvery: DefaultVacuumEvery,
+	}
+	if cfg.VacuumEvery > 0 {
+		tb.vacuumEvery = int64(cfg.VacuumEvery)
+	}
+	for i := range tb.shards {
+		base := uint32(i) << pageShardShift
+		limit := base + 1<<pageShardShift
+		if n == 1 {
+			limit = 0 // single tree: the whole page-number space, as before
+		}
+		sh := &shard{
+			tree:   btree.NewWithPageBase(cfg.PageMaxKeys, base, limit),
+			stamps: NewPageStamps(cfg.Horizon),
+		}
+		sh.sweepGate.Store(tb.vacuumEvery)
+		sh.tree.OnSplit = func(oldPage, newPage uint32) {
+			// Page-stamp inheritance is intrinsic to the store: the moved
+			// rows' page-level First-Committer-Wins watermark must follow
+			// them whatever the engine mode. The engine's own hook (SIREAD
+			// inheritance) runs after it, still under the shard latch.
+			sh.stamps.InheritOnSplit(oldPage, newPage)
+			if fn := tb.onSplit; fn != nil {
+				fn(oldPage, newPage)
+			}
+		}
+		tb.shards[i] = sh
+	}
+	return tb
 }
 
 // Name returns the table name.
 func (tb *Table) Name() string { return tb.name }
 
+// Shards returns the partition count.
+func (tb *Table) Shards() int { return len(tb.shards) }
+
+// shardOf routes a key to its partition (FNV-1a over the key bytes).
+func (tb *Table) shardOf(key []byte) *shard {
+	return tb.shards[core.Fnv32aBytes(core.Fnv32aInit(), key)&tb.mask]
+}
+
+// shardOfPage routes a page number back to the partition that allocated it.
+func (tb *Table) shardOfPage(page uint32) *shard {
+	return tb.shards[(page>>pageShardShift)&tb.mask]
+}
+
+// lockAll / unlockAll take every partition latch exclusively in ascending
+// index order — the same order merged scans take them shared — so mixed
+// scan/insert workloads cannot deadlock.
+func (tb *Table) lockAll() {
+	for _, sh := range tb.shards {
+		sh.mu.Lock()
+	}
+}
+
+func (tb *Table) unlockAll() {
+	for _, sh := range tb.shards {
+		sh.mu.Unlock()
+	}
+}
+
 // Len returns the number of distinct keys ever inserted (including keys
 // whose newest version is a tombstone).
 func (tb *Table) Len() int {
-	tb.mu.RLock()
-	defer tb.mu.RUnlock()
-	return tb.tree.Len()
+	n := 0
+	for _, sh := range tb.shards {
+		sh.mu.RLock()
+		n += sh.tree.Len()
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// PageCount returns the number of B+tree pages allocated across all
+// partitions of this table.
+func (tb *Table) PageCount() int {
+	n := 0
+	for _, sh := range tb.shards {
+		sh.mu.RLock()
+		n += sh.tree.PageCount()
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // visible reports whether version v is visible to transaction t reading at
@@ -97,9 +274,10 @@ func visible(v *Version, t *core.Txn, snap core.TS) bool {
 // Read performs a snapshot read of key for t at snapshot snap, also
 // reporting the creators of any newer versions for conflict marking.
 func (tb *Table) Read(t *core.Txn, snap core.TS, key []byte) ReadResult {
-	tb.mu.RLock()
-	defer tb.mu.RUnlock()
-	v, ok := tb.tree.Get(key)
+	sh := tb.shardOf(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	v, ok := sh.tree.Get(key)
 	if !ok {
 		return ReadResult{}
 	}
@@ -129,9 +307,10 @@ func readChain(c *chain, t *core.Txn, snap core.TS) ReadResult {
 // semantics used by S2PL and by SELECT FOR UPDATE-style reads (thesis §4.4):
 // under a held lock no other uncommitted version can exist.
 func (tb *Table) ReadLatest(t *core.Txn, key []byte) (val []byte, found bool, creator *core.Txn) {
-	tb.mu.RLock()
-	defer tb.mu.RUnlock()
-	cv, ok := tb.tree.Get(key)
+	sh := tb.shardOf(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	cv, ok := sh.tree.Get(key)
 	if !ok {
 		return nil, false, nil
 	}
@@ -150,9 +329,10 @@ func (tb *Table) ReadLatest(t *core.Txn, key []byte) (val []byte, found bool, cr
 // version of key, or 0 if none. It implements the First-Committer-Wins
 // check: a writer whose snapshot predates this timestamp must abort.
 func (tb *Table) NewestCommitTS(key []byte) core.TS {
-	tb.mu.RLock()
-	defer tb.mu.RUnlock()
-	cv, ok := tb.tree.Get(key)
+	sh := tb.shardOf(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	cv, ok := sh.tree.Get(key)
 	if !ok {
 		return 0
 	}
@@ -167,9 +347,10 @@ func (tb *Table) NewestCommitTS(key []byte) core.TS {
 // Exists reports whether key has any version chain at all (live, dead or
 // uncommitted). Used by insert duplicate checks alongside visibility.
 func (tb *Table) Exists(key []byte) bool {
-	tb.mu.RLock()
-	defer tb.mu.RUnlock()
-	_, ok := tb.tree.Get(key)
+	sh := tb.shardOf(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	_, ok := sh.tree.Get(key)
 	return ok
 }
 
@@ -178,83 +359,97 @@ func (tb *Table) Exists(key []byte) bool {
 // have already applied the First-Committer-Wins check. A second write by the
 // same transaction replaces its own pending version in place.
 //
-// If the key did not exist before, onInsert (when non-nil) runs under the
-// table latch with the key's successor at insertion time, *before* the key
-// becomes visible to scans; the engine uses it to inherit SIREAD gap locks
-// onto the new key's gap atomically with the structure change. Write reports
-// whether a structural insert happened and the successor it saw.
+// Writes to existing keys touch only the key's partition latch. A structural
+// insert with an onInsert callback takes every partition latch exclusively:
+// the callback receives the key's *global* successor at insertion time,
+// *before* the key becomes visible to scans or successor queries, and the
+// engine uses it to inherit SIREAD gap locks onto the new key's gap
+// atomically with the structure change — an atomicity that spans partitions
+// because the successor may live in any of them. Write reports whether a
+// structural insert happened and the successor it saw.
 func (tb *Table) Write(t *core.Txn, key []byte, data []byte, tombstone bool, onInsert func(succ []byte, hasSucc bool)) (inserted bool, succ []byte, hasSucc bool) {
-	tb.mu.Lock()
-	defer tb.mu.Unlock()
-	cv, ok := tb.tree.Get(key)
-	if !ok {
-		if onInsert != nil {
-			succ, hasSucc = tb.tree.Successor(key)
-			onInsert(succ, hasSucc)
-		}
-		cv, _ = tb.tree.GetOrInsert(key, &chain{})
-		inserted = true
+	sh := tb.shardOf(key)
+	sh.mu.Lock()
+	if cv, ok := sh.tree.Get(key); ok {
+		tb.writeChainLocked(sh, cv.(*chain), t, data, tombstone)
+		sh.mu.Unlock()
+		return false, nil, false
 	}
-	c := cv.(*chain)
+	if onInsert == nil {
+		// No gap protocol to run (page-granularity and lock-free modes):
+		// the insert is local to this partition.
+		cv, _ := sh.tree.GetOrInsert(key, &chain{})
+		tb.writeChainLocked(sh, cv.(*chain), t, data, tombstone)
+		sh.mu.Unlock()
+		return true, nil, false
+	}
+	sh.mu.Unlock()
+
+	// Structural insert under the gap protocol: take all partition latches
+	// so the global successor is exact and the inheritance runs atomically
+	// with the key becoming visible (no scan holds any partition latch, no
+	// other structural insert is in flight).
+	tb.lockAll()
+	defer tb.unlockAll()
+	if cv, ok := sh.tree.Get(key); ok {
+		// Lost a race for the key between the latches. Cannot happen under
+		// the engine's exclusive row lock, but stay correct without it.
+		tb.writeChainLocked(sh, cv.(*chain), t, data, tombstone)
+		return false, nil, false
+	}
+	succ, hasSucc = tb.successorAllLocked(key)
+	onInsert(succ, hasSucc)
+	cv, _ := sh.tree.GetOrInsert(key, &chain{})
+	tb.writeChainLocked(sh, cv.(*chain), t, data, tombstone)
+	return true, succ, hasSucc
+}
+
+// writeChainLocked pushes (or replaces in place) t's pending version and
+// maintains the partition's superseded-version estimate. Caller holds the
+// shard latch exclusively.
+func (tb *Table) writeChainLocked(sh *shard, c *chain, t *core.Txn, data []byte, tombstone bool) {
 	if c.head != nil && c.head.Creator == t {
 		c.head.Data = data
 		c.head.Tombstone = tombstone
-		return inserted, succ, hasSucc
+		return
 	}
+	superseding := c.head != nil
 	c.head = &Version{Data: data, Creator: t, Tombstone: tombstone, Older: c.head}
-	tb.pruneChainLocked(c)
-	return inserted, succ, hasSucc
+	if superseding {
+		tb.noteDead(sh, 1)
+	}
 }
 
-// SetSplitHook installs a callback invoked under the table latch whenever a
-// B+tree page split moves keys to a new page.
+// noteDead bumps the partition's superseded-version estimate and triggers an
+// asynchronous vacuum sweep when it crosses the gate (unless a previous
+// sweep found the watermark pinned — MaybeVacuum re-arms on advance).
+func (tb *Table) noteDead(sh *shard, n int64) {
+	if sh.dead.Add(n) >= sh.sweepGate.Load() && !sh.stalled.Load() {
+		tb.tryVacuumShard(sh)
+	}
+}
+
+// SetSplitHook installs a callback invoked under the owning partition latch
+// whenever a B+tree page split moves keys to a new page.
 func (tb *Table) SetSplitHook(fn func(oldPage, newPage uint32)) {
-	tb.mu.Lock()
-	defer tb.mu.Unlock()
-	tb.tree.OnSplit = fn
+	tb.lockAll()
+	tb.onSplit = fn
+	tb.unlockAll()
 }
 
 // Rollback removes t's pending version of key, restoring the chain to its
 // pre-transaction state. Called for each written key when t aborts.
 func (tb *Table) Rollback(t *core.Txn, key []byte) {
-	tb.mu.Lock()
-	defer tb.mu.Unlock()
-	cv, ok := tb.tree.Get(key)
+	sh := tb.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	cv, ok := sh.tree.Get(key)
 	if !ok {
 		return
 	}
 	c := cv.(*chain)
 	if c.head != nil && c.head.Creator == t {
 		c.head = c.head.Older
-	}
-}
-
-// pruneChainLocked drops versions that no current or future snapshot can
-// read: everything older than the newest version committed before the
-// horizon. Tombstone chains whose visible version is the tombstone keep it
-// (the thesis notes tombstones are reclaimed once no transaction could read
-// the last live version; we keep the tombstone itself as the chain marker).
-//
-// An earlier version of this function only pruned chains of at least 8
-// versions, to amortise the horizon lookup — but that gate meant a hot key
-// rewritten by short transactions kept up to 7 dead pre-horizon versions
-// forever. The cut point keeps the newest committed-before-horizon version
-// and drops everything older, so a prune can only remove anything when at
-// least two versions sit below the (always uncommitted) head — that is the
-// gate now, and it also bounds the horizon lookups (a scan over the
-// registry's shard watermarks) to writes where pruning could pay: the
-// steady-state two-version chain of a single-writer hot key skips the
-// lookup entirely.
-func (tb *Table) pruneChainLocked(c *chain) {
-	if c.head == nil || c.head.Older == nil || c.head.Older.Older == nil {
-		return // at most one version below the head: nothing can be cut
-	}
-	h := tb.horizon()
-	for v := c.head; v != nil; v = v.Older {
-		if ct := v.committedAt(); ct != 0 && ct < h {
-			v.Older = nil // v is visible to the oldest snapshot; older ones are garbage
-			return
-		}
 	}
 }
 
@@ -276,85 +471,431 @@ func (tb *Table) Scan(t *core.Txn, snap core.TS, from []byte, fn func(ScanItem) 
 	tb.ScanWith(t, snap, from, fn, nil)
 }
 
-// ScanWith is Scan plus an after callback invoked while the table latch is
-// still held, with exhausted reporting whether the iteration ran off the end
-// of the table. Serializable SI scans use it to take their SIREAD locks
-// (which never block) atomically with the iteration: no insert can slip
-// between reading the range and protecting it, because inserts take the
-// write latch.
+// ScanWith is Scan plus an after callback invoked while the partition
+// latches are still held, with exhausted reporting whether the iteration ran
+// off the end of the table. Serializable SI scans use it to take their
+// SIREAD locks (which never block) atomically with the iteration: no insert
+// can slip between reading the range and protecting it, because every
+// insert takes at least its key's partition latch exclusively (gap-protocol
+// inserts take all of them) while the scan holds all partition latches
+// shared.
+//
+// The iteration is a k-way merge over the per-partition ordered iterators,
+// under all partition latches in shared mode (ascending order), so the
+// produced order is the table's total key order regardless of partitioning.
 func (tb *Table) ScanWith(t *core.Txn, snap core.TS, from []byte, fn func(ScanItem) bool, after func(exhausted bool)) {
-	tb.mu.RLock()
-	defer tb.mu.RUnlock()
+	for _, sh := range tb.shards {
+		sh.mu.RLock()
+	}
+	defer func() {
+		for _, sh := range tb.shards {
+			sh.mu.RUnlock()
+		}
+	}()
 	exhausted := true
-	tb.tree.Ascend(from, func(key []byte, val any, page uint32) bool {
+	emit := func(key []byte, val any, page uint32) bool {
 		item := ScanItem{Key: key, Page: page, ReadResult: readChain(val.(*chain), t, snap)}
 		if !fn(item) {
 			exhausted = false
 			return false
 		}
 		return true
-	})
+	}
+	if len(tb.shards) == 1 {
+		tb.shards[0].tree.Ascend(from, emit)
+	} else {
+		m := newMerge(tb.shards, from)
+		for m.valid() {
+			it := m.top()
+			if !emit(it.Key(), it.Value(), it.Page()) {
+				break
+			}
+			m.advance()
+		}
+	}
 	if after != nil {
 		after(exhausted)
 	}
 }
 
-// LeafPage, PathPages, InsertWillSplit and Successor expose the underlying
-// tree's page topology for the page-granularity engine mode and the gap
-// locking protocol.
-func (tb *Table) LeafPage(key []byte) uint32 {
-	tb.mu.RLock()
-	defer tb.mu.RUnlock()
-	return tb.tree.LeafPage(key)
+// merge is a binary min-heap of per-partition iterators keyed by their
+// current key; keys are globally unique so no tie-break is needed.
+type merge struct {
+	iters []btree.Iter
+	heap  []int // indices into iters, heap-ordered
 }
 
-// PathPages returns the root-to-leaf page path for key.
+func newMerge(shards []*shard, from []byte) *merge {
+	m := &merge{iters: make([]btree.Iter, 0, len(shards)), heap: make([]int, 0, len(shards))}
+	for _, sh := range shards {
+		it := sh.tree.IterFrom(from)
+		if it.Valid() {
+			m.iters = append(m.iters, it)
+			m.heap = append(m.heap, len(m.iters)-1)
+		}
+	}
+	for i := len(m.heap)/2 - 1; i >= 0; i-- {
+		m.siftDown(i)
+	}
+	return m
+}
+
+func (m *merge) valid() bool { return len(m.heap) > 0 }
+
+// top returns the iterator positioned on the globally smallest key.
+func (m *merge) top() *btree.Iter { return &m.iters[m.heap[0]] }
+
+// advance moves the top iterator forward and restores heap order.
+func (m *merge) advance() {
+	it := &m.iters[m.heap[0]]
+	it.Next()
+	if !it.Valid() {
+		last := len(m.heap) - 1
+		m.heap[0] = m.heap[last]
+		m.heap = m.heap[:last]
+	}
+	if len(m.heap) > 0 {
+		m.siftDown(0)
+	}
+}
+
+func (m *merge) less(a, b int) bool {
+	return bytes.Compare(m.iters[m.heap[a]].Key(), m.iters[m.heap[b]].Key()) < 0
+}
+
+func (m *merge) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(m.heap) && m.less(l, small) {
+			small = l
+		}
+		if r < len(m.heap) && m.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		m.heap[i], m.heap[small] = m.heap[small], m.heap[i]
+		i = small
+	}
+}
+
+// LeafPage, PathPages, InsertWillSplit and Successor expose the underlying
+// trees' page topology for the page-granularity engine mode and the gap
+// locking protocol.
+func (tb *Table) LeafPage(key []byte) uint32 {
+	sh := tb.shardOf(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.tree.LeafPage(key)
+}
+
+// PathPages returns the root-to-leaf page path for key within its partition.
 func (tb *Table) PathPages(key []byte) []uint32 {
-	tb.mu.RLock()
-	defer tb.mu.RUnlock()
-	return tb.tree.PathPages(key)
+	sh := tb.shardOf(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.tree.PathPages(key)
+}
+
+// ScanPathPages returns the root-to-leaf descent paths for `from` in every
+// partition — a merged scan descends all of them, so page-granularity scans
+// read-lock them all, as Berkeley DB does while descending one tree.
+func (tb *Table) ScanPathPages(from []byte) []uint32 {
+	out := make([]uint32, 0, 4*len(tb.shards))
+	for _, sh := range tb.shards {
+		sh.mu.RLock()
+		out = append(out, sh.tree.PathPages(from)...)
+		sh.mu.RUnlock()
+	}
+	return out
 }
 
 // InsertWillSplit reports whether inserting key would split its leaf page.
 func (tb *Table) InsertWillSplit(key []byte) bool {
-	tb.mu.RLock()
-	defer tb.mu.RUnlock()
-	return tb.tree.InsertWillSplit(key)
+	sh := tb.shardOf(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.tree.InsertWillSplit(key)
 }
 
-// Successor returns the smallest key strictly greater than key.
+// Successor returns the smallest key strictly greater than key across all
+// partitions. Partitions are inspected one at a time (no two latches are
+// ever held together on this path), so the result can be momentarily stale
+// against concurrent inserts; every caller (the gap-locking protocol) wraps
+// it in an acquire-and-revalidate loop, and tree keys are never removed, so
+// a re-read converges.
 func (tb *Table) Successor(key []byte) ([]byte, bool) {
-	tb.mu.RLock()
-	defer tb.mu.RUnlock()
-	return tb.tree.Successor(key)
+	var best []byte
+	found := false
+	for _, sh := range tb.shards {
+		sh.mu.RLock()
+		s, ok := sh.tree.Successor(key)
+		sh.mu.RUnlock()
+		if ok && (!found || bytes.Compare(s, best) < 0) {
+			best, found = s, true
+		}
+	}
+	return best, found
 }
 
-// PageCount returns the number of B+tree pages allocated in this table.
-func (tb *Table) PageCount() int {
-	tb.mu.RLock()
-	defer tb.mu.RUnlock()
-	return tb.tree.PageCount()
+// successorAllLocked is Successor with every partition latch already held.
+func (tb *Table) successorAllLocked(key []byte) ([]byte, bool) {
+	var best []byte
+	found := false
+	for _, sh := range tb.shards {
+		if s, ok := sh.tree.Successor(key); ok && (!found || bytes.Compare(s, best) < 0) {
+			best, found = s, true
+		}
+	}
+	return best, found
 }
 
-// PageStamps records which transactions wrote each page of a table. It is
-// the page-granularity analogue of version chains: the Berkeley DB prototype
-// versions whole pages, so "a newer version of the page exists" means "some
-// transaction that committed after my snapshot wrote this page" — including
-// structural writes from splits, which is exactly how the paper's prototype
-// manufactures its root-page false positives (§6.1.5).
+// ---------------------------------------------------------------------------
+// Page write stamps (partition-routed)
+
+// AddPageWriter records that t wrote page (holding its exclusive page lock).
+func (tb *Table) AddPageWriter(page uint32, t *core.Txn) {
+	tb.shardOfPage(page).stamps.AddWriter(page, t)
+}
+
+// PageNewestCommitTS returns the latest commit timestamp among writers of
+// page, the page-granularity First-Committer-Wins input.
+func (tb *Table) PageNewestCommitTS(page uint32) core.TS {
+	return tb.shardOfPage(page).stamps.NewestCommitTS(page)
+}
+
+// PageNewerWriters returns writers of page that committed after snap (the
+// page-granularity "newer version" creators of thesis Figure 3.4).
+func (tb *Table) PageNewerWriters(page uint32, snap core.TS) []*core.Txn {
+	return tb.shardOfPage(page).stamps.NewerWriters(page, snap)
+}
+
+// PruneStamps drops page-stamp writers that committed before horizon (their
+// stamp folds into the per-page floor) in every partition.
+func (tb *Table) PruneStamps(horizon core.TS) {
+	for _, sh := range tb.shards {
+		tb.stampsPruned.Add(uint64(sh.stamps.Prune(horizon)))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Vacuum
+
+// vacuumChunk bounds how many keys one latch hold processes, so a sweep
+// never stalls readers or writers of the partition for long.
+const vacuumChunk = 256
+
+// VacuumStats reports what a sweep reclaimed.
+type VacuumStats struct {
+	// VersionsPruned is the number of row versions cut out of chains.
+	VersionsPruned int
+	// StampWritersPruned is the number of page-stamp writer entries expired
+	// (their commit stamps folded into the per-page floor).
+	StampWritersPruned int
+}
+
+// Vacuum sweeps every partition against the current watermark, synchronously,
+// and returns what it reclaimed. Safe to run concurrently with readers and
+// writers; the sweep takes each partition latch in short chunks.
+func (tb *Table) Vacuum() VacuumStats {
+	var st VacuumStats
+	for _, sh := range tb.shards {
+		// Parks behind any in-flight async sweep of the same partition, so
+		// the returned counts are this call's own.
+		sh.sweepMu.Lock()
+		v, s := tb.vacuumShard(sh)
+		sh.sweepMu.Unlock()
+		st.VersionsPruned += v
+		st.StampWritersPruned += s
+	}
+	return st
+}
+
+// MaybeVacuum re-arms stalled partitions (the watermark advanced) and kicks
+// asynchronous sweeps for partitions whose superseded-version estimate has
+// crossed the threshold. Called from the engine's watermark-advance hook.
+func (tb *Table) MaybeVacuum() {
+	for _, sh := range tb.shards {
+		sh.stalled.Store(false)
+		if sh.dead.Load() >= sh.sweepGate.Load() {
+			tb.tryVacuumShard(sh)
+		}
+	}
+}
+
+// tryVacuumShard starts an asynchronous sweep of sh unless one is running.
+func (tb *Table) tryVacuumShard(sh *shard) {
+	if !sh.vacuuming.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		sh.sweepMu.Lock()
+		tb.vacuumShard(sh)
+		sh.sweepMu.Unlock()
+		sh.vacuuming.Store(false)
+	}()
+}
+
+// vacuumShard cuts reclaimable versions out of sh's chains in chunked latch
+// holds and expires the partition's page stamps. A version is reclaimable
+// when a newer version of its key committed before the watermark: no current
+// or future snapshot can reach past that newer version. The newest
+// committed-before-horizon version itself is kept (it is what the oldest
+// snapshot reads); tombstone markers are kept as chain markers, per the
+// thesis note on reclaiming deleted rows.
+func (tb *Table) vacuumShard(sh *shard) (versions, stampWriters int) {
+	h := tb.horizon()
+	taken := sh.dead.Swap(0)
+	remaining := int64(0)
+	keys := int64(0)
+	var resume []byte
+	for {
+		sh.mu.Lock()
+		it := sh.tree.IterFrom(resume)
+		n := 0
+		for ; it.Valid() && n < vacuumChunk; it.Next() {
+			pruned, left := pruneChain(it.Value().(*chain), h)
+			versions += pruned
+			remaining += int64(left)
+			n++
+		}
+		keys += int64(n)
+		if !it.Valid() {
+			sh.mu.Unlock()
+			break
+		}
+		resume = append(resume[:0], it.Key()...)
+		sh.mu.Unlock()
+	}
+	// Superseded versions the watermark still pins stay counted, so the
+	// next watermark advance re-triggers; if nothing was reclaimable the
+	// partition is stalled until then. The gate rises with the partition
+	// width so the next sweep is worth its walk.
+	sh.dead.Add(remaining)
+	if gate := keys / 4; gate > tb.vacuumEvery {
+		sh.sweepGate.Store(gate)
+	}
+	if versions == 0 && taken+remaining >= sh.sweepGate.Load() {
+		sh.stalled.Store(true)
+	}
+	stampWriters = sh.stamps.Prune(h)
+	tb.vacuumRuns.Add(1)
+	tb.versionsPruned.Add(uint64(versions))
+	tb.stampsPruned.Add(uint64(stampWriters))
+	return versions, stampWriters
+}
+
+// pruneChain cuts everything older than the newest version committed before
+// horizon, returning how many versions were cut and how many superseded
+// versions remain pinned (committed, shadowed by a newer committed version,
+// but at or above the horizon).
+func pruneChain(c *chain, horizon core.TS) (pruned, pinned int) {
+	committedSeen := false
+	for v := c.head; v != nil; v = v.Older {
+		ct := v.committedAt()
+		if ct == 0 {
+			continue
+		}
+		if ct < horizon {
+			// v is the newest pre-horizon committed version: every older
+			// version is unreachable by any current or future snapshot.
+			for o := v.Older; o != nil; o = o.Older {
+				pruned++
+			}
+			v.Older = nil
+			return pruned, pinned
+		}
+		if committedSeen {
+			pinned++ // superseded, but some active snapshot may still read it
+		}
+		committedSeen = true
+	}
+	return pruned, pinned
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+
+// ShardStats is a census of one partition.
+type ShardStats struct {
+	Keys  int
+	Pages int
+	// DeadVersions is the partition's current superseded-version estimate
+	// (the vacuum trigger counter).
+	DeadVersions int64
+}
+
+// TableStats is a census of a table's partitions and vacuum activity.
+type TableStats struct {
+	Shards []ShardStats
+	Keys   int
+	Pages  int
+
+	// Cumulative since table creation.
+	VacuumRuns         uint64
+	VersionsPruned     uint64
+	StampWritersPruned uint64
+}
+
+// Stats returns a point-in-time census. Partitions are visited one at a
+// time, so the totals are not an atomic cut; quiesce first for exact numbers.
+func (tb *Table) Stats() TableStats {
+	st := TableStats{
+		Shards:             make([]ShardStats, len(tb.shards)),
+		VacuumRuns:         tb.vacuumRuns.Load(),
+		VersionsPruned:     tb.versionsPruned.Load(),
+		StampWritersPruned: tb.stampsPruned.Load(),
+	}
+	for i, sh := range tb.shards {
+		sh.mu.RLock()
+		s := ShardStats{Keys: sh.tree.Len(), Pages: sh.tree.PageCount(), DeadVersions: sh.dead.Load()}
+		sh.mu.RUnlock()
+		st.Shards[i] = s
+		st.Keys += s.Keys
+		st.Pages += s.Pages
+	}
+	return st
+}
+
+// ---------------------------------------------------------------------------
+// Page write stamps
+
+// PageStamps records which transactions wrote each page of one partition. It
+// is the page-granularity analogue of version chains: the Berkeley DB
+// prototype versions whole pages, so "a newer version of the page exists"
+// means "some transaction that committed after my snapshot wrote this page"
+// — including structural writes from splits, which is exactly how the
+// paper's prototype manufactures its root-page false positives (§6.1.5).
 type PageStamps struct {
-	mu     sync.Mutex
-	byPage map[uint32]*pageHist
+	mu      sync.Mutex
+	byPage  map[uint32]*pageHist
+	horizon func() core.TS // may be nil: no inline bounding
 }
 
 type pageHist struct {
 	writers   []*core.Txn
 	maxCommit core.TS // commit stamp floor preserved across pruning
+	// pruneAt is the writer-list length at which AddWriter attempts the
+	// next inline prune; it advances past the current length after an
+	// unproductive attempt (watermark pinned) so a hot page pays one list
+	// scan per stampPruneLen new writers, not one per write.
+	pruneAt int
 }
 
-// NewPageStamps returns an empty registry.
-func NewPageStamps() *PageStamps {
-	return &PageStamps{byPage: make(map[uint32]*pageHist)}
+// stampPruneLen is the per-page writer-list length that triggers an inline
+// prune against the watermark on the write path: hot pages (a root split
+// target, a counter page) would otherwise accumulate one entry per writing
+// transaction between periodic sweeps.
+const stampPruneLen = 32
+
+// NewPageStamps returns an empty registry. horizon, when non-nil, lets the
+// registry bound hot-page histories inline: once a page's writer list grows
+// past stampPruneLen, writers whose commit stamps fall below the watermark
+// are folded into the page's maxCommit floor at AddWriter time.
+func NewPageStamps(horizon func() core.TS) *PageStamps {
+	return &PageStamps{byPage: make(map[uint32]*pageHist), horizon: horizon}
 }
 
 // InheritOnSplit copies the write history of oldPage onto newPage. When a
@@ -402,6 +943,31 @@ func (ps *PageStamps) AddWriter(page uint32, t *core.Txn) {
 		}
 	}
 	h.writers = append(h.writers, t)
+	if ps.horizon != nil && len(h.writers) >= max(h.pruneAt, stampPruneLen) {
+		pruneHistLocked(h, ps.horizon())
+		h.pruneAt = len(h.writers) + stampPruneLen
+	}
+}
+
+// pruneHistLocked folds writers that committed before horizon into the
+// page's maxCommit floor and drops aborted writers.
+func pruneHistLocked(h *pageHist, horizon core.TS) (removed int) {
+	kept := h.writers[:0]
+	for _, w := range h.writers {
+		switch {
+		case w.Aborted():
+			removed++
+		case w.Committed() && w.CommitTS() < horizon:
+			if ct := w.CommitTS(); ct > h.maxCommit {
+				h.maxCommit = ct
+			}
+			removed++
+		default:
+			kept = append(kept, w)
+		}
+	}
+	h.writers = kept
+	return removed
 }
 
 // NewestCommitTS returns the latest commit timestamp among writers of page,
@@ -441,27 +1007,16 @@ func (ps *PageStamps) NewerWriters(page uint32, snap core.TS) []*core.Txn {
 }
 
 // Prune drops writers that committed before horizon (folding their stamp
-// into maxCommit) and writers that aborted.
-func (ps *PageStamps) Prune(horizon core.TS) {
+// into maxCommit) and writers that aborted, reporting how many writer
+// entries were removed.
+func (ps *PageStamps) Prune(horizon core.TS) (removed int) {
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
 	for page, h := range ps.byPage {
-		kept := h.writers[:0]
-		for _, w := range h.writers {
-			switch {
-			case w.Aborted():
-				// drop
-			case w.Committed() && w.CommitTS() < horizon:
-				if ct := w.CommitTS(); ct > h.maxCommit {
-					h.maxCommit = ct
-				}
-			default:
-				kept = append(kept, w)
-			}
-		}
-		h.writers = kept
-		if len(kept) == 0 && h.maxCommit == 0 {
+		removed += pruneHistLocked(h, horizon)
+		if len(h.writers) == 0 && h.maxCommit == 0 {
 			delete(ps.byPage, page)
 		}
 	}
+	return removed
 }

@@ -2,7 +2,10 @@ package mvcc
 
 import (
 	"fmt"
+	"math/rand"
+	"sync"
 	"testing"
+	"time"
 
 	"ssi/internal/core"
 )
@@ -13,9 +16,11 @@ type fixture struct {
 }
 
 func newFixture() *fixture {
+	// Four partitions so every test exercises the hash-routed paths; the
+	// single-shard behaviour is covered by the oracle comparisons below.
 	m := core.NewManager(core.DetectorPrecise)
 	f := &fixture{m: m}
-	f.tb = NewTable("t", 8, m.OldestActiveSnapshot)
+	f.tb = NewTable("t", Config{PageMaxKeys: 8, Shards: 4, Horizon: m.OldestActiveSnapshot})
 	return f
 }
 
@@ -195,22 +200,19 @@ func TestReadLatest(t *testing.T) {
 	}
 }
 
-func TestChainPruning(t *testing.T) {
+func TestVacuumPrunesChains(t *testing.T) {
 	f := newFixture()
-	// 40 committed versions with no concurrent readers: the chain must be
-	// pruned well below 40.
+	// 40 committed versions with no concurrent readers: a vacuum sweep must
+	// cut the chain down to the visible version.
 	for i := 0; i < 40; i++ {
 		f.put(t, "x", fmt.Sprintf("v%d", i))
 	}
-	n := 0
-	f.tb.mu.RLock()
-	cv, _ := f.tb.tree.Get([]byte("x"))
-	for v := cv.(*chain).head; v != nil; v = v.Older {
-		n++
+	st := f.tb.Vacuum()
+	if st.VersionsPruned < 30 {
+		t.Fatalf("vacuum pruned %d versions, want most of 39", st.VersionsPruned)
 	}
-	f.tb.mu.RUnlock()
-	if n >= 40 {
-		t.Fatalf("chain not pruned: %d versions", n)
+	if n := f.chainLen("x"); n != 1 {
+		t.Fatalf("chain kept %d versions after vacuum, want 1", n)
 	}
 	// Latest value still correct.
 	r := f.m.Begin(core.SnapshotIsolation)
@@ -221,9 +223,10 @@ func TestChainPruning(t *testing.T) {
 }
 
 func (f *fixture) chainLen(key string) int {
-	f.tb.mu.RLock()
-	defer f.tb.mu.RUnlock()
-	cv, ok := f.tb.tree.Get([]byte(key))
+	sh := f.tb.shardOf([]byte(key))
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	cv, ok := sh.tree.Get([]byte(key))
 	if !ok {
 		return 0
 	}
@@ -234,34 +237,176 @@ func (f *fixture) chainLen(key string) int {
 	return n
 }
 
-// TestShortHotChainPruned is the regression test for a pruning bug: prune
-// only considered chains of at least 8 versions, so a hot key rewritten by
-// short transactions kept up to 7 dead pre-horizon versions forever. Any
-// write that stacks a version on a chain whose older versions sit below the
-// advanced watermark must prune them, regardless of chain length.
-func TestShortHotChainPruned(t *testing.T) {
+// TestVacuumRespectsOldSnapshot: versions an active snapshot can still read
+// must survive a sweep; once the snapshot finishes, they go.
+func TestVacuumRespectsOldSnapshot(t *testing.T) {
 	f := newFixture()
-	// Five committed rewrites of one key, each fully before the next — the
-	// watermark advances past every one of them.
-	for i := 0; i < 5; i++ {
-		f.put(t, "hot", fmt.Sprintf("v%d", i))
+	f.put(t, "x", "v0")
+	reader := f.m.Begin(core.SnapshotIsolation)
+	snap := f.m.AssignSnapshot(reader)
+	f.put(t, "x", "v1")
+	f.put(t, "x", "v2")
+
+	f.tb.Vacuum()
+	if res := f.tb.Read(reader, snap, []byte("x")); string(res.Value) != "v0" {
+		t.Fatalf("vacuum stole the pinned version: read %q, want v0", res.Value)
 	}
-	// A sixth write with no concurrent readers: everything below the newest
-	// committed version is pre-horizon garbage and must go now, not at
-	// version 8.
-	txn := f.m.Begin(core.SnapshotIsolation)
-	f.m.AssignSnapshot(txn)
-	f.tb.Write(txn, []byte("hot"), []byte("final"), false, nil)
-	if n := f.chainLen("hot"); n > 2 {
-		t.Fatalf("short hot chain kept %d versions; want <= 2 (uncommitted head + visible version)", n)
+	if n := f.chainLen("x"); n < 2 {
+		t.Fatalf("pinned chain cut to %d versions", n)
 	}
-	f.commit(t, txn)
-	// The surviving state is still correct.
-	r := f.m.Begin(core.SnapshotIsolation)
-	snap := f.m.AssignSnapshot(r)
-	if res := f.tb.Read(r, snap, []byte("hot")); string(res.Value) != "final" {
-		t.Fatalf("after pruning read %q, want \"final\"", res.Value)
+
+	f.m.Abort(reader)
+	st := f.tb.Vacuum()
+	if st.VersionsPruned == 0 {
+		t.Fatal("nothing pruned after the pinning snapshot finished")
 	}
+	if n := f.chainLen("x"); n != 1 {
+		t.Fatalf("chain kept %d versions after unpinned vacuum, want 1", n)
+	}
+}
+
+// TestDeadCounterTriggersVacuum: with VacuumEvery=1 every superseding write
+// crosses the threshold, so the store vacuums itself without any explicit
+// Vacuum call.
+func TestDeadCounterTriggersVacuum(t *testing.T) {
+	m := core.NewManager(core.DetectorPrecise)
+	tb := NewTable("t", Config{PageMaxKeys: 8, Shards: 2, Horizon: m.OldestActiveSnapshot, VacuumEvery: 1})
+	put := func(key, val string) {
+		txn := m.Begin(core.SnapshotIsolation)
+		m.AssignSnapshot(txn)
+		tb.Write(txn, []byte(key), []byte(val), false, nil)
+		if _, err := m.CommitPrepare(txn); err != nil {
+			t.Fatal(err)
+		}
+		m.Finish(txn, false)
+	}
+	for i := 0; i < 50; i++ {
+		put("hot", fmt.Sprintf("v%d", i))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for tb.Stats().VacuumRuns == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("write-path dead counter never triggered a vacuum")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestMergedScanMatchesSingleShardOracle: a partitioned table's ordered scan
+// must produce exactly the sequence a 1-shard table produces for the same
+// data — same keys, same order, same visibility.
+func TestMergedScanMatchesSingleShardOracle(t *testing.T) {
+	m := core.NewManager(core.DetectorPrecise)
+	sharded := NewTable("t", Config{PageMaxKeys: 4, Shards: 8, Horizon: m.OldestActiveSnapshot})
+	oracle := NewTable("t", Config{PageMaxKeys: 4, Shards: 1, Horizon: m.OldestActiveSnapshot})
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 300; i++ {
+		key := []byte(fmt.Sprintf("k%04d", r.Intn(150)))
+		val := []byte(fmt.Sprintf("v%d", i))
+		tomb := r.Intn(8) == 0
+		txn := m.Begin(core.SnapshotIsolation)
+		m.AssignSnapshot(txn)
+		sharded.Write(txn, key, val, tomb, nil)
+		oracle.Write(txn, key, val, tomb, nil)
+		if _, err := m.CommitPrepare(txn); err != nil {
+			t.Fatal(err)
+		}
+		m.Finish(txn, false)
+	}
+	reader := m.Begin(core.SnapshotIsolation)
+	snap := m.AssignSnapshot(reader)
+	collect := func(tb *Table, from []byte) []string {
+		var out []string
+		tb.Scan(reader, snap, from, func(it ScanItem) bool {
+			out = append(out, fmt.Sprintf("%s=%s/%v/%v", it.Key, it.Value, it.Found, it.VisibleCreator != nil))
+			return true
+		})
+		return out
+	}
+	for _, from := range []string{"", "k0050", "k0100x", "zzz"} {
+		got, want := collect(sharded, []byte(from)), collect(oracle, []byte(from))
+		if len(got) != len(want) {
+			t.Fatalf("from %q: sharded %d items, oracle %d", from, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("from %q item %d: sharded %q, oracle %q", from, i, got[i], want[i])
+			}
+		}
+	}
+	// Cross-partition successor agrees with the oracle everywhere.
+	for i := 0; i < 150; i++ {
+		key := []byte(fmt.Sprintf("k%04d", i))
+		gs, gok := sharded.Successor(key)
+		ws, wok := oracle.Successor(key)
+		if gok != wok || (gok && string(gs) != string(ws)) {
+			t.Fatalf("Successor(%s): sharded %q/%v, oracle %q/%v", key, gs, gok, ws, wok)
+		}
+	}
+}
+
+// TestPartitionedStoreRaceStress hammers one partitioned table with
+// concurrent point writes, structural inserts (with gap callbacks),
+// tombstones, merged scans and vacuum sweeps; run under -race it checks the
+// latch discipline (single-shard point ops, ordered all-shard scans and
+// structural inserts, chunked vacuum) for data races and deadlocks.
+func TestPartitionedStoreRaceStress(t *testing.T) {
+	m := core.NewManager(core.DetectorPrecise)
+	tb := NewTable("t", Config{PageMaxKeys: 4, Shards: 4, Horizon: m.OldestActiveSnapshot, VacuumEvery: 16})
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(g) + 1))
+			for i := 0; i < 400; i++ {
+				txn := m.Begin(core.SnapshotIsolation)
+				snap := m.AssignSnapshot(txn)
+				key := []byte(fmt.Sprintf("k%03d", r.Intn(64)))
+				switch r.Intn(4) {
+				case 0: // structural-style write with gap callback
+					tb.Write(txn, key, []byte{byte(i)}, false, func(succ []byte, hasSucc bool) {})
+				case 1: // tombstone
+					tb.Write(txn, key, nil, true, nil)
+				case 2: // merged scan
+					tb.Scan(txn, snap, nil, func(it ScanItem) bool { return true })
+				default:
+					tb.Read(txn, snap, key)
+				}
+				if r.Intn(2) == 0 {
+					if _, err := m.CommitPrepare(txn); err == nil {
+						m.Finish(txn, false)
+					}
+				} else {
+					tb.Rollback(txn, key)
+					m.Abort(txn)
+				}
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				tb.Vacuum()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	reader := m.Begin(core.SnapshotIsolation)
+	snap := m.AssignSnapshot(reader)
+	var prev []byte
+	tb.Scan(reader, snap, nil, func(it ScanItem) bool {
+		if prev != nil && string(prev) >= string(it.Key) {
+			t.Fatalf("merged scan out of order: %q then %q", prev, it.Key)
+		}
+		prev = append(prev[:0], it.Key...)
+		return true
+	})
 }
 
 func TestScanVisitsInvisibleKeys(t *testing.T) {
@@ -288,7 +433,7 @@ func TestScanVisitsInvisibleKeys(t *testing.T) {
 
 func TestPageStamps(t *testing.T) {
 	f := newFixture()
-	ps := NewPageStamps()
+	ps := NewPageStamps(nil)
 	w1 := f.m.Begin(core.SnapshotIsolation)
 	f.m.AssignSnapshot(w1)
 	ps.AddWriter(7, w1)
@@ -322,7 +467,7 @@ func TestPageStamps(t *testing.T) {
 
 func TestPageStampsDropAborted(t *testing.T) {
 	f := newFixture()
-	ps := NewPageStamps()
+	ps := NewPageStamps(nil)
 	w := f.m.Begin(core.SnapshotIsolation)
 	f.m.AssignSnapshot(w)
 	ps.AddWriter(3, w)
@@ -330,5 +475,40 @@ func TestPageStampsDropAborted(t *testing.T) {
 	ps.Prune(1)
 	if got := ps.NewestCommitTS(3); got != 0 {
 		t.Fatalf("aborted writer left a stamp: %d", got)
+	}
+}
+
+// TestPageStampsHotPageBounded: a page written by an unending stream of
+// short committed transactions must not accumulate one writer entry per
+// transaction — AddWriter folds pre-watermark commits into the maxCommit
+// floor once the list passes the inline-prune length.
+func TestPageStampsHotPageBounded(t *testing.T) {
+	m := core.NewManager(core.DetectorPrecise)
+	ps := NewPageStamps(m.OldestActiveSnapshot)
+	var lastCT core.TS
+	for i := 0; i < 500; i++ {
+		w := m.Begin(core.SnapshotIsolation)
+		m.AssignSnapshot(w)
+		ps.AddWriter(7, w)
+		ct, err := m.CommitPrepare(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Finish(w, false)
+		lastCT = ct
+	}
+	ps.mu.Lock()
+	n := len(ps.byPage[7].writers)
+	ps.mu.Unlock()
+	// The prune is amortised (one list scan per stampPruneLen new writers),
+	// so between prunes the list may hold up to ~2x the trigger length —
+	// bounded either way, where the old behaviour grew one entry per
+	// transaction forever.
+	if n > 2*stampPruneLen {
+		t.Fatalf("hot page kept %d writer entries, want <= %d", n, 2*stampPruneLen)
+	}
+	// The First-Committer-Wins floor survives the folding exactly.
+	if got := ps.NewestCommitTS(7); got != lastCT {
+		t.Fatalf("NewestCommitTS after folding = %d, want %d", got, lastCT)
 	}
 }

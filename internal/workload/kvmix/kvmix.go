@@ -27,12 +27,26 @@ type Config struct {
 	// Reads and Writes are the point operations per transaction. The
 	// default 4+2 mirrors a short OLTP transaction.
 	Reads, Writes int
+	// Scans is the number of ordered range scans per transaction (default
+	// 0), each covering ScanSpan consecutive keys from a uniform start —
+	// the probe for the partitioned store's merged-scan path.
+	Scans int
+	// ScanSpan is the key width of each scan. Default 16 when Scans > 0.
+	ScanSpan int
 }
 
 // DefaultConfig returns the standard scaling probe: 4 reads and 2 writes
 // over 10k keys.
 func DefaultConfig() Config {
 	return Config{Keys: 10000, Reads: 4, Writes: 2}
+}
+
+// ReadHeavyConfig returns the storage-scaling probe: a read-dominated mix
+// (12 point reads, 1 ordered scan, 1 write over 10k keys) whose throughput
+// tracks the row store's read path — the workload the TableShards sweep
+// measures.
+func ReadHeavyConfig() Config {
+	return Config{Keys: 10000, Reads: 12, Writes: 1, Scans: 1, ScanSpan: 16}
 }
 
 func (c Config) normalized() Config {
@@ -44,6 +58,12 @@ func (c Config) normalized() Config {
 	}
 	if c.Writes < 0 {
 		c.Writes = 0
+	}
+	if c.Scans < 0 {
+		c.Scans = 0
+	}
+	if c.Scans > 0 && c.ScanSpan <= 0 {
+		c.ScanSpan = 16
 	}
 	return c
 }
@@ -77,14 +97,25 @@ func Load(db *ssidb.DB, cfg Config) error {
 	return nil
 }
 
-// Worker returns the transaction function: Reads point reads then Writes
-// point writes, each to a uniformly chosen key.
+// Worker returns the transaction function: Reads point reads, then Scans
+// ordered range scans, then Writes point writes, each over uniformly chosen
+// keys.
 func Worker(db *ssidb.DB, iso ssidb.Isolation, cfg Config) harness.TxnFunc {
 	cfg = cfg.normalized()
 	return func(r *rand.Rand) error {
 		return db.Run(iso, func(tx *ssidb.Txn) error {
 			for i := 0; i < cfg.Reads; i++ {
 				if _, _, err := tx.Get(Table, key(r.Intn(cfg.Keys))); err != nil {
+					return err
+				}
+			}
+			for i := 0; i < cfg.Scans; i++ {
+				lo := r.Intn(cfg.Keys)
+				hi := lo + cfg.ScanSpan
+				if hi > cfg.Keys {
+					hi = cfg.Keys
+				}
+				if err := tx.Scan(Table, key(lo), key(hi), func(k, v []byte) bool { return true }); err != nil {
 					return err
 				}
 			}

@@ -137,3 +137,90 @@ func TestScalingMeasurement(t *testing.T) {
 		}
 	}
 }
+
+// BenchmarkScalingTableShards sweeps the row-store partition count under the
+// read-heavy kvmix mix (point reads + merged scans) at rising parallelism:
+// the axis the partitioned store exists for. tshards=1 is the single-tree
+// single-latch baseline.
+func BenchmarkScalingTableShards(b *testing.B) {
+	for _, tshards := range []int{1, 4, 16} {
+		for _, par := range []int{1, 8} {
+			workers := par * runtime.GOMAXPROCS(0)
+			b.Run(fmt.Sprintf("tshards=%d/workers=%d", tshards, workers), func(b *testing.B) {
+				db := ssidb.Open(ssidb.Options{Detector: ssidb.DetectorPrecise, TableShards: tshards})
+				cfg := kvmix.ReadHeavyConfig()
+				if err := kvmix.Load(db, cfg); err != nil {
+					b.Fatal(err)
+				}
+				fn := kvmix.Worker(db, ssidb.SerializableSI, cfg)
+				var commits atomic.Uint64
+				var seed atomic.Int64
+				b.SetParallelism(par)
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					r := rand.New(rand.NewSource(seed.Add(1) * 31337))
+					for pb.Next() {
+						if err := fn(r); err == nil {
+							commits.Add(1)
+						}
+					}
+				})
+				b.StopTimer()
+				if secs := b.Elapsed().Seconds(); secs > 0 {
+					b.ReportMetric(float64(commits.Load())/secs, "commits/s")
+				}
+			})
+		}
+	}
+}
+
+// Allocation microbenchmarks for the storage read path. ReportAllocs makes
+// allocs/op part of every run (CI included, no -benchmem needed), so a
+// regression that starts allocating per Get or per scanned key is visible.
+func BenchmarkGetAlloc(b *testing.B) {
+	for _, tshards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("tshards=%d", tshards), func(b *testing.B) {
+			db := ssidb.Open(ssidb.Options{Detector: ssidb.DetectorPrecise, TableShards: tshards})
+			cfg := kvmix.DefaultConfig()
+			if err := kvmix.Load(db, cfg); err != nil {
+				b.Fatal(err)
+			}
+			key := []byte{0, 0, 0x12, 0x34}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := db.Run(ssidb.SnapshotIsolation, func(tx *ssidb.Txn) error {
+					_, _, err := tx.Get(kvmix.Table, key)
+					return err
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScanAlloc measures a 64-key ordered scan per op — the k-way
+// merged path when tshards > 1.
+func BenchmarkScanAlloc(b *testing.B) {
+	for _, tshards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("tshards=%d", tshards), func(b *testing.B) {
+			db := ssidb.Open(ssidb.Options{Detector: ssidb.DetectorPrecise, TableShards: tshards})
+			cfg := kvmix.DefaultConfig()
+			if err := kvmix.Load(db, cfg); err != nil {
+				b.Fatal(err)
+			}
+			from := []byte{0, 0, 0x10, 0}
+			to := []byte{0, 0, 0x10, 64}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := db.Run(ssidb.SnapshotIsolation, func(tx *ssidb.Txn) error {
+					return tx.Scan(kvmix.Table, from, to, func(k, v []byte) bool { return true })
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

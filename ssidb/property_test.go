@@ -26,6 +26,8 @@ func TestQuickSequentialMatchesMap(t *testing.T) {
 		{},
 		{Detector: ssidb.DetectorPrecise},
 		{Granularity: ssidb.GranularityPage, PageMaxKeys: 4},
+		{Detector: ssidb.DetectorPrecise, TableShards: 8},
+		{Granularity: ssidb.GranularityPage, PageMaxKeys: 4, TableShards: 4},
 	}
 	isolations := []ssidb.Isolation{ssidb.SnapshotIsolation, ssidb.SerializableSI, ssidb.S2PL}
 	check := func(ops []op, cfgIdx, isoIdx uint8) bool {
@@ -172,6 +174,13 @@ func TestRandomConcurrentSerializability(t *testing.T) {
 		{"ssi-precise-no-upgrade", ssidb.Options{Detector: ssidb.DetectorPrecise, DisableSIReadUpgrade: true}, ssidb.SerializableSI},
 		{"ssi-page", ssidb.Options{Detector: ssidb.DetectorPrecise, Granularity: ssidb.GranularityPage, PageMaxKeys: 4}, ssidb.SerializableSI},
 		{"s2pl", ssidb.Options{}, ssidb.S2PL},
+		// The partitioned row store must preserve serializability for every
+		// level: the scans' all-partition latching and the structural
+		// inserts' gap inheritance are what these cases exercise.
+		{"ssi-basic-sharded-store", ssidb.Options{Detector: ssidb.DetectorBasic, TableShards: 8}, ssidb.SerializableSI},
+		{"ssi-precise-sharded-store", ssidb.Options{Detector: ssidb.DetectorPrecise, TableShards: 8}, ssidb.SerializableSI},
+		{"ssi-page-sharded-store", ssidb.Options{Detector: ssidb.DetectorPrecise, Granularity: ssidb.GranularityPage, PageMaxKeys: 4, TableShards: 4}, ssidb.SerializableSI},
+		{"s2pl-sharded-store", ssidb.Options{TableShards: 8}, ssidb.S2PL},
 	} {
 		t.Run(c.name, func(t *testing.T) {
 			for seed := int64(1); seed <= 4; seed++ {
@@ -188,16 +197,19 @@ func TestRandomConcurrentSerializability(t *testing.T) {
 	}
 
 	// The same workload at plain SI produces cycles (write skew et al.) —
-	// this is the baseline that makes the assertions above meaningful.
+	// this is the baseline that makes the assertions above meaningful. Run
+	// it on both store layouts so the partitioned path has its own baseline.
 	anomalies := 0
-	for seed := int64(1); seed <= 4; seed++ {
-		hist, _ := runOnce(ssidb.Options{}, ssidb.SnapshotIsolation, seed*1000)
-		if ok, _ := hist.Serializable(); !ok {
-			anomalies++
+	for _, opts := range []ssidb.Options{{}, {TableShards: 8}} {
+		for seed := int64(1); seed <= 4; seed++ {
+			hist, _ := runOnce(opts, ssidb.SnapshotIsolation, seed*1000)
+			if ok, _ := hist.Serializable(); !ok {
+				anomalies++
+			}
 		}
 	}
 	if anomalies == 0 {
-		t.Log("note: SI produced no anomaly in 4 seeds (possible but unusual)")
+		t.Log("note: SI produced no anomaly in 8 seeds (possible but unusual)")
 	}
 }
 

@@ -142,6 +142,22 @@ type Options struct {
 	// deadlocks are still detected immediately either way; the timeout
 	// exists for the non-cycle hazard of a holder that is simply stuck.
 	LockWaitTimeout time.Duration
+	// TableShards is the number of hash partitions in each table's row
+	// store (rounded up to a power of two, clamped to [1, 256]). Each
+	// partition is an independently latched B+tree with its own page-stamp
+	// registry, so point operations on different partitions never contend;
+	// ordered scans merge the partitions back into one sequence. Zero
+	// selects the default, mvcc.ShardCount: GOMAXPROCS-scaled. One
+	// partition reproduces the single-tree store, useful as a baseline and
+	// as the oracle in the cross-partition scan property tests.
+	TableShards int
+	// VacuumEvery is the per-partition count of superseded row versions
+	// that triggers an asynchronous vacuum sweep of that partition (version
+	// chains and page write-stamps are pruned against the
+	// OldestActiveSnapshot watermark). Zero selects
+	// mvcc.DefaultVacuumEvery. Vacuum also runs when the watermark-advance
+	// hook sees trigger-level garbage, and on demand via DB.Vacuum.
+	VacuumEvery int
 	// DisableSIReadUpgrade turns off the §3.7.3 optimisation that discards
 	// a transaction's SIREAD lock once it acquires EXCLUSIVE on the same
 	// key. Used by ablation benchmarks.
@@ -154,10 +170,14 @@ type Options struct {
 }
 
 type table struct {
-	name  string
-	data  *mvcc.Table
-	pages *mvcc.PageStamps
+	name string
+	data *mvcc.Table
 }
+
+// tableMap is the immutable table directory; a new map is published on every
+// table creation (copy-on-write), so the per-operation name lookup is one
+// atomic load with no reader-count cache-line bounce.
+type tableMap = map[string]*table
 
 // DB is an embedded multiversion database. All methods are safe for
 // concurrent use.
@@ -167,10 +187,11 @@ type DB struct {
 	locks *lock.Manager
 	log   *wal.Log
 
-	tmu    sync.RWMutex
-	tables map[string]*table
+	tables   atomic.Pointer[tableMap]
+	createMu sync.Mutex // serialises table creation (map copy + publish)
 
 	cleanupBatches atomic.Uint64
+	wmTicks        atomic.Uint64
 }
 
 // Open creates an empty database with the given options.
@@ -179,18 +200,26 @@ func Open(opts Options) *DB {
 		opts.PageMaxKeys = 64
 	}
 	db := &DB{
-		opts:   opts,
-		mgr:    core.NewManager(opts.Detector),
-		locks:  lock.NewManagerShards(!opts.DisableSIReadUpgrade, opts.LockShards),
-		log:    wal.NewLog(opts.FlushLatency),
-		tables: make(map[string]*table),
+		opts:  opts,
+		mgr:   core.NewManager(opts.Detector),
+		locks: lock.NewManagerShards(!opts.DisableSIReadUpgrade, opts.LockShards),
+		log:   wal.NewLog(opts.FlushLatency),
 	}
+	empty := tableMap{}
+	db.tables.Store(&empty)
 	db.locks.SetWaitTimeout(opts.LockWaitTimeout)
+	// Every watermark advance is a reclamation opportunity; the hook is an
+	// atomic-counter throttle plus per-partition trigger checks, with the
+	// sweeps themselves asynchronous.
+	db.mgr.SetWatermarkHook(db.onWatermarkAdvance)
 	return db
 }
 
 // LockShards returns the lock manager's effective shard count.
 func (db *DB) LockShards() int { return db.locks.Shards() }
+
+// TableShards returns the effective row-store partition count per table.
+func (db *DB) TableShards() int { return mvcc.ShardCount(db.opts.TableShards) }
 
 // CreateTable creates a table with an explicit page capacity (keys per
 // B+tree page). Creating an existing table is a no-op. Tables are also
@@ -202,44 +231,50 @@ func (db *DB) CreateTable(name string, pageMaxKeys int) {
 // getOrCreateTable is the single construction path for tables, so explicit
 // and implicit creation cannot diverge (in particular, both must install the
 // page-split hook that keeps SIREAD coverage and page write-stamps attached
-// to moved rows under GranularityPage).
+// to moved rows under GranularityPage). Creation copies the table directory
+// and publishes the new map atomically; lookups never block on it.
 func (db *DB) getOrCreateTable(name string, pageMaxKeys int) *table {
 	if pageMaxKeys <= 0 {
 		pageMaxKeys = db.opts.PageMaxKeys
 	}
-	db.tmu.Lock()
-	defer db.tmu.Unlock()
-	tb := db.tables[name]
-	if tb == nil {
-		tb = db.newTable(name, pageMaxKeys)
-		db.tables[name] = tb
+	db.createMu.Lock()
+	defer db.createMu.Unlock()
+	old := *db.tables.Load()
+	if tb := old[name]; tb != nil {
+		return tb
 	}
+	tb := db.newTable(name, pageMaxKeys)
+	next := make(tableMap, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[name] = tb
+	db.tables.Store(&next)
 	return tb
 }
 
 func (db *DB) newTable(name string, pageMaxKeys int) *table {
-	tb := &table{
-		name:  name,
-		data:  mvcc.NewTable(name, pageMaxKeys, db.mgr.OldestActiveSnapshot),
-		pages: mvcc.NewPageStamps(),
-	}
+	tb := &table{name: name}
+	tb.data = mvcc.NewTable(name, mvcc.Config{
+		PageMaxKeys: pageMaxKeys,
+		Shards:      db.opts.TableShards,
+		Horizon:     db.mgr.OldestActiveSnapshot,
+		VacuumEvery: db.opts.VacuumEvery,
+	})
 	if db.opts.Granularity == GranularityPage {
-		// Page splits move rows to a new page: readers' SIREAD coverage and
-		// the page-level First-Committer-Wins watermark must follow the
-		// moved rows (run under the table latch, atomic with the split).
+		// Page splits move rows to a new page: readers' SIREAD coverage
+		// must follow the moved rows (run under the partition latch, atomic
+		// with the split; the page write-stamp watermark inheritance is
+		// built into the store).
 		tb.data.SetSplitHook(func(oldPage, newPage uint32) {
 			db.locks.InheritSIRead(lock.PageKey(name, oldPage), lock.PageKey(name, newPage))
-			tb.pages.InheritOnSplit(oldPage, newPage)
 		})
 	}
 	return tb
 }
 
 func (db *DB) table(name string) *table {
-	db.tmu.RLock()
-	tb := db.tables[name]
-	db.tmu.RUnlock()
-	if tb != nil {
+	if tb := (*db.tables.Load())[name]; tb != nil {
 		return tb
 	}
 	return db.getOrCreateTable(name, 0)
@@ -291,12 +326,93 @@ func (db *DB) afterCleanup(cleaned []*core.Txn) {
 	}
 	if db.opts.Granularity == GranularityPage && db.cleanupBatches.Add(1)%64 == 0 {
 		h := db.mgr.OldestActiveSnapshot()
-		db.tmu.RLock()
-		for _, tb := range db.tables {
-			tb.pages.Prune(h)
+		for _, tb := range *db.tables.Load() {
+			tb.data.PruneStamps(h)
 		}
-		db.tmu.RUnlock()
 	}
+}
+
+// onWatermarkAdvance is the core.Manager watermark hook (already sampled to
+// roughly every 16th transaction end): every 4th delivery it offers each
+// table's partitions a vacuum opportunity (cheap counter checks; partitions
+// over their superseded-version threshold sweep asynchronously). This is
+// what reclaims garbage that accumulated while an old snapshot pinned the
+// watermark — the write path stops re-triggering on a stalled partition,
+// and the advance re-arms it.
+func (db *DB) onWatermarkAdvance(core.TS) {
+	if db.wmTicks.Add(1)%4 != 0 {
+		return
+	}
+	for _, tb := range *db.tables.Load() {
+		tb.data.MaybeVacuum()
+	}
+}
+
+// VacuumStats reports what a DB.Vacuum pass reclaimed.
+type VacuumStats struct {
+	// VersionsPruned is the number of row versions cut out of version
+	// chains (superseded before the OldestActiveSnapshot watermark).
+	VersionsPruned int
+	// StampWritersPruned is the number of page write-stamp entries expired
+	// (their commit stamps folded into each page's First-Committer-Wins
+	// floor).
+	StampWritersPruned int
+}
+
+// Vacuum synchronously sweeps every table's partitions against the current
+// OldestActiveSnapshot watermark, reclaiming row versions and page
+// write-stamps no active or future snapshot can observe. The sweeps take
+// each partition latch in short chunks, so concurrent transactions keep
+// running. Vacuum also runs automatically (per-partition dead-version
+// triggers and the watermark-advance hook); the method exists for tests,
+// for quiesced reclamation, and as an operational lever.
+func (db *DB) Vacuum() VacuumStats {
+	var st VacuumStats
+	for _, tb := range *db.tables.Load() {
+		vs := tb.data.Vacuum()
+		st.VersionsPruned += vs.VersionsPruned
+		st.StampWritersPruned += vs.StampWritersPruned
+	}
+	return st
+}
+
+// TableStats is a census of one table's partitioned row store.
+type TableStats struct {
+	// Shards is the partition count; Keys and Pages are summed across
+	// partitions.
+	Shards int
+	Keys   int
+	Pages  int
+	// DeadVersions is the current superseded-version estimate across
+	// partitions (the vacuum trigger counter).
+	DeadVersions int64
+	// Cumulative vacuum activity since the table was created.
+	VacuumRuns         uint64
+	VersionsPruned     uint64
+	StampWritersPruned uint64
+}
+
+// TableStats returns the partition/vacuum census for table name. Unlike the
+// data operations, a census does not create the table: an unknown name
+// returns zero stats.
+func (db *DB) TableStats(name string) TableStats {
+	tb := (*db.tables.Load())[name]
+	if tb == nil {
+		return TableStats{}
+	}
+	ts := tb.data.Stats()
+	st := TableStats{
+		Shards:             len(ts.Shards),
+		Keys:               ts.Keys,
+		Pages:              ts.Pages,
+		VacuumRuns:         ts.VacuumRuns,
+		VersionsPruned:     ts.VersionsPruned,
+		StampWritersPruned: ts.StampWritersPruned,
+	}
+	for _, sh := range ts.Shards {
+		st.DeadVersions += sh.DeadVersions
+	}
+	return st
 }
 
 // Stats is a census of internal state, used by tests to verify that
@@ -322,6 +438,11 @@ type Stats struct {
 	LockWakeups    uint64
 	LockTimeouts   uint64
 	LockWaitTime   time.Duration
+
+	// Vacuum activity, cumulative since Open, summed over tables (see
+	// DB.TableStats for the per-table breakdown).
+	VacuumRuns     uint64
+	VersionsPruned uint64
 }
 
 // StatsSnapshot returns current counters.
@@ -329,7 +450,15 @@ func (db *DB) StatsSnapshot() Stats {
 	cs := db.mgr.StatsSnapshot()
 	ls := db.locks.StatsSnapshot()
 	ws := db.log.StatsSnapshot()
+	var vruns, vpruned uint64
+	for _, tb := range *db.tables.Load() {
+		ts := tb.data.Stats()
+		vruns += ts.VacuumRuns
+		vpruned += ts.VersionsPruned
+	}
 	return Stats{
+		VacuumRuns:     vruns,
+		VersionsPruned: vpruned,
 		ActiveTxns:     cs.Active,
 		SuspendedTxns:  cs.Suspended,
 		LockedKeys:     ls.Keys,

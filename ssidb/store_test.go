@@ -1,0 +1,264 @@
+package ssidb_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ssi/ssidb"
+)
+
+// TestTableShardsOption pins the Options.TableShards plumbing: power-of-two
+// rounding, a sane default, and the single-partition oracle configuration.
+func TestTableShardsOption(t *testing.T) {
+	if got := ssidb.Open(ssidb.Options{TableShards: 5}).TableShards(); got != 8 {
+		t.Fatalf("TableShards(5) rounded to %d, want 8", got)
+	}
+	if got := ssidb.Open(ssidb.Options{TableShards: 1}).TableShards(); got != 1 {
+		t.Fatalf("TableShards(1) = %d", got)
+	}
+	if got := ssidb.Open(ssidb.Options{}).TableShards(); got < 1 {
+		t.Fatalf("default TableShards = %d", got)
+	}
+	db := ssidb.Open(ssidb.Options{TableShards: 8})
+	if err := db.Run(ssidb.SnapshotIsolation, func(tx *ssidb.Txn) error {
+		return tx.Put("t", []byte("k"), []byte("v"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st := db.TableStats("t"); st.Shards != 8 || st.Keys != 1 {
+		t.Fatalf("TableStats = %+v, want 8 shards / 1 key", st)
+	}
+}
+
+// TestCrossPartitionScanMatchesOracle is the acceptance property for the
+// partitioned store: the same random operation sequence applied to an
+// 8-partition database and to a 1-partition oracle must yield byte-identical
+// Scan and ScanLimit results — same keys, same values, same order, same
+// limit/boundary behaviour — at every isolation level.
+func TestCrossPartitionScanMatchesOracle(t *testing.T) {
+	type op struct {
+		Kind byte
+		Key  uint8
+		Val  uint16
+	}
+	isolations := []ssidb.Isolation{ssidb.SnapshotIsolation, ssidb.SerializableSI, ssidb.S2PL}
+	check := func(ops []op, isoIdx, fromK, toK uint8, limit uint8) bool {
+		iso := isolations[int(isoIdx)%len(isolations)]
+		sharded := ssidb.Open(ssidb.Options{TableShards: 8, PageMaxKeys: 4, Detector: ssidb.DetectorPrecise})
+		oracle := ssidb.Open(ssidb.Options{TableShards: 1, PageMaxKeys: 4, Detector: ssidb.DetectorPrecise})
+		for _, o := range ops {
+			key := []byte(fmt.Sprintf("k%03d", o.Key%48))
+			val := []byte(fmt.Sprintf("v%05d", o.Val))
+			for _, db := range []*ssidb.DB{sharded, oracle} {
+				var err error
+				if o.Kind%4 == 0 {
+					err = db.Run(iso, func(tx *ssidb.Txn) error { return tx.Delete("t", key) })
+				} else {
+					err = db.Run(iso, func(tx *ssidb.Txn) error { return tx.Put("t", key, val) })
+				}
+				if err != nil {
+					return false // sequential transactions must never abort
+				}
+			}
+		}
+		// Interleave a vacuum on one side only: reclamation must be
+		// invisible to scan results.
+		sharded.Vacuum()
+
+		from := []byte(fmt.Sprintf("k%03d", fromK%48))
+		to := []byte(fmt.Sprintf("k%03d", toK%48))
+		if bytes.Compare(from, to) > 0 {
+			from, to = to, from
+		}
+		collect := func(db *ssidb.DB, limited bool) (out []string, err error) {
+			err = db.Run(iso, func(tx *ssidb.Txn) error {
+				out = out[:0]
+				fn := func(k, v []byte) bool {
+					out = append(out, string(k)+"="+string(v))
+					return true
+				}
+				if limited {
+					return tx.ScanLimit("t", from, to, int(limit%8)+1, fn)
+				}
+				return tx.Scan("t", from, to, fn)
+			})
+			return out, err
+		}
+		for _, limited := range []bool{false, true} {
+			got, err1 := collect(sharded, limited)
+			want, err2 := collect(oracle, limited)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPartitionedStoreStress hammers an 8-partition table through the full
+// engine: concurrent SSI/SI scans, splitting inserts (tiny pages), upserts,
+// deletes and an aggressive vacuum loop. Under -race this checks the latch
+// discipline end to end; afterwards the census must drain and a full scan
+// must still be ordered and consistent.
+func TestPartitionedStoreStress(t *testing.T) {
+	db := ssidb.Open(ssidb.Options{
+		TableShards: 8,
+		PageMaxKeys: 4, // force frequent page splits
+		Detector:    ssidb.DetectorPrecise,
+		VacuumEvery: 8, // trip the write-path trigger constantly
+	})
+	key := func(i int) []byte { return []byte(fmt.Sprintf("k%03d", i)) }
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(g) + 99))
+			isos := []ssidb.Isolation{ssidb.SnapshotIsolation, ssidb.SerializableSI, ssidb.S2PL}
+			for i := 0; i < 250; i++ {
+				iso := isos[r.Intn(len(isos))]
+				db.Run(iso, func(tx *ssidb.Txn) error {
+					for n := 0; n < 3; n++ {
+						k := key(r.Intn(128))
+						switch r.Intn(5) {
+						case 0:
+							if err := tx.Put("t", k, []byte{byte(i)}); err != nil {
+								return err
+							}
+						case 1:
+							if err := tx.Delete("t", k); err != nil {
+								return err
+							}
+						case 2:
+							if err := tx.Scan("t", key(r.Intn(64)), key(64+r.Intn(64)), func(k, v []byte) bool { return true }); err != nil {
+								return err
+							}
+						case 3:
+							if err := tx.ScanLimit("t", k, nil, 1+r.Intn(4), func(k, v []byte) bool { return true }); err != nil {
+								return err
+							}
+						default:
+							if _, _, err := tx.Get("t", k); err != nil {
+								return err
+							}
+						}
+					}
+					return nil
+				})
+			}
+		}(g)
+	}
+	stop := make(chan struct{})
+	var vwg sync.WaitGroup
+	vwg.Add(1)
+	go func() {
+		defer vwg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				db.Vacuum()
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	vwg.Wait()
+
+	st := db.StatsSnapshot()
+	if st.ActiveTxns != 0 || st.SuspendedTxns != 0 || st.LockedKeys != 0 || st.LockOwners != 0 {
+		t.Fatalf("bookkeeping did not drain after stress: %+v", st)
+	}
+	var prev []byte
+	if err := db.Run(ssidb.SerializableSI, func(tx *ssidb.Txn) error {
+		prev = prev[:0]
+		return tx.Scan("t", nil, nil, func(k, v []byte) bool {
+			if len(prev) > 0 && bytes.Compare(prev, k) >= 0 {
+				t.Errorf("scan out of order after stress: %q then %q", prev, k)
+				return false
+			}
+			prev = append(prev[:0], k...)
+			return true
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVacuumReclaimsVersionsAndStamps drives a hot-key update stream with an
+// old snapshot pinning the watermark, then releases it: the pinned vacuum
+// must reclaim nothing the snapshot could read, the unpinned one must cut
+// the chains, and in page mode the write-stamp histories must shrink too.
+func TestVacuumReclaimsVersionsAndStamps(t *testing.T) {
+	db := ssidb.Open(ssidb.Options{
+		TableShards: 4,
+		Granularity: ssidb.GranularityPage,
+		PageMaxKeys: 8,
+		Detector:    ssidb.DetectorBasic,
+		VacuumEvery: 1 << 30, // no automatic sweeps: the test drives Vacuum
+	})
+	put := func(i int) {
+		if err := db.Run(ssidb.SnapshotIsolation, func(tx *ssidb.Txn) error {
+			return tx.Put("t", []byte("hot"), []byte(fmt.Sprintf("v%d", i)))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put(0)
+
+	pin := db.Begin(ssidb.SnapshotIsolation)
+	if _, _, err := pin.Get("t", []byte("hot")); err != nil { // materialise the snapshot
+		t.Fatal(err)
+	}
+	for i := 1; i <= 50; i++ {
+		put(i)
+	}
+	// The pinned reader still sees v0 across a vacuum.
+	db.Vacuum()
+	if v, ok, err := pin.Get("t", []byte("hot")); err != nil || !ok || string(v) != "v0" {
+		t.Fatalf("pinned reader after vacuum: %q %v %v, want v0", v, ok, err)
+	}
+	if err := pin.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := db.Vacuum()
+	if st.VersionsPruned < 40 {
+		t.Fatalf("unpinned vacuum reclaimed %d versions, want most of 50", st.VersionsPruned)
+	}
+	if st.StampWritersPruned == 0 {
+		t.Fatal("unpinned vacuum expired no page write-stamps")
+	}
+	ts := db.TableStats("t")
+	if ts.VacuumRuns == 0 || ts.VersionsPruned == 0 {
+		t.Fatalf("table census missed the vacuum activity: %+v", ts)
+	}
+	// Correctness after reclamation.
+	if err := db.Run(ssidb.SnapshotIsolation, func(tx *ssidb.Txn) error {
+		v, ok, err := tx.Get("t", []byte("hot"))
+		if err != nil || !ok || string(v) != "v50" {
+			t.Fatalf("after vacuum read %q %v %v, want v50", v, ok, err)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

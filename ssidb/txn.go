@@ -190,7 +190,7 @@ func (tx *Txn) Get(tableName string, key []byte) (val []byte, found bool, err er
 	if ssi {
 		writers := res.NewerWriters
 		if tx.db.opts.Granularity == GranularityPage {
-			writers = tb.pages.NewerWriters(tb.data.LeafPage(key), snap)
+			writers = tb.data.PageNewerWriters(tb.data.LeafPage(key), snap)
 		}
 		if err := tx.markAsReader(writers); err != nil {
 			return nil, false, tx.fail(err)
@@ -353,7 +353,7 @@ func (tx *Txn) write(tableName string, key, val []byte, tombstone, mustNotExist 
 	inserted, _, _ := tb.data.Write(tx.t, key, val, tombstone, onInsert)
 	tx.writes = append(tx.writes, writeRec{tb: tb, key: string(key)})
 	if tx.db.opts.Granularity == GranularityPage {
-		tb.pages.AddWriter(tb.data.LeafPage(key), tx.t)
+		tb.data.AddPageWriter(tb.data.LeafPage(key), tx.t)
 	}
 	if inserted && tx.db.opts.Granularity == GranularityRow && tx.t.Isolation() != SnapshotIsolation {
 		// Re-acquire the gap now that the key is visible: the successor may
@@ -400,7 +400,7 @@ func (tx *Txn) writeLockAndCheck(tb *table, key []byte, structural bool) (core.T
 	// committed. In page mode the unit of versioning is the page.
 	var newest core.TS
 	if tx.db.opts.Granularity == GranularityPage {
-		newest = tb.pages.NewestCommitTS(leaf)
+		newest = tb.data.PageNewestCommitTS(leaf)
 	} else {
 		newest = tb.data.NewestCommitTS(key)
 	}
@@ -460,7 +460,7 @@ func (tx *Txn) lockPagePathWrite(tb *table, key []byte, structural bool) (rivals
 					// The split will rewrite this interior page: stamp it
 					// so page-level FCW and newer-version checks see the
 					// structural write (the root-page conflicts of §6.1.5).
-					tb.pages.AddWriter(pg, tx.t)
+					tb.data.AddPageWriter(pg, tx.t)
 				}
 			case ssi:
 				rv, err := tx.db.locks.Acquire(tx.t, lock.PageKey(tb.name, pg), lock.SIRead)
@@ -645,8 +645,9 @@ func (tx *Txn) scanSSI(tb *table, snap core.TS, from, to []byte, limit int) (col
 	var lockKeys []lock.Key // SIREAD set, batch-acquired under the latch
 	pagesQueued := map[uint32]bool{}
 	if pageMode {
-		// The descent path's interior pages, as Berkeley DB read-locks them.
-		for _, pg := range tb.data.PathPages(from) {
+		// The descent paths' interior pages (every partition's, since a
+		// merged scan descends them all), as Berkeley DB read-locks them.
+		for _, pg := range tb.data.ScanPathPages(from) {
 			lockKeys = append(lockKeys, lock.PageKey(tb.name, pg))
 			pagesQueued[pg] = true
 		}
@@ -658,7 +659,7 @@ func (tx *Txn) scanSSI(tb *table, snap core.TS, from, to []byte, limit int) (col
 		if !pagesQueued[pg] {
 			pagesQueued[pg] = true
 			lockKeys = append(lockKeys, lock.PageKey(tb.name, pg))
-			writers = append(writers, tb.pages.NewerWriters(pg, snap)...)
+			writers = append(writers, tb.data.PageNewerWriters(pg, snap)...)
 		}
 	}
 	tb.data.ScanWith(tx.t, snap, from, func(it mvcc.ScanItem) bool {
@@ -730,7 +731,7 @@ func (tx *Txn) scanS2PL(tb *table, snap core.TS, from, to []byte, limit int) (co
 		}
 
 		if pageMode {
-			for _, pg := range tb.data.PathPages(from) {
+			for _, pg := range tb.data.ScanPathPages(from) {
 				if err := acquire(lock.PageKey(tb.name, pg)); err != nil {
 					return res, err
 				}
