@@ -12,15 +12,23 @@
 //	ssibench -duration 2s -trials 3   # longer, with confidence intervals
 //	ssibench -mpl 1,10,50 -csv out.csv
 //	ssibench -scaling                 # shard-count × MPL scaling sweep
+//	ssibench -scaling -contention     # hot-key kvmix: the conflict path
+//	ssibench -scaling -json           # also write BENCH_<name>.json
 //
 // The -scaling mode goes beyond the paper: it sweeps the lock-table shard
 // count (1 = the paper's single latch, up to GOMAXPROCS-scaled) against the
 // multiprogramming level on the low-conflict kvmix workload, showing how
 // the sharded concurrency-control core scales where the figure workloads
-// measure contention behaviour.
+// measure contention behaviour. -contention switches the sweep to the
+// hot-key kvmix mix (kvmix.HotConfig), whose hot-set collisions put real
+// traffic on the SSI conflict-marking and lock-blocking paths that uniform
+// kvmix never exercises. -json writes each run's results as a
+// machine-readable BENCH_<name>.json next to the human-readable table, so
+// CI can archive and diff performance trajectories.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -48,6 +56,8 @@ func main() {
 		isoName    = flag.String("iso", "SSI", "isolation level for -scaling: SI, SSI or S2PL")
 		waitStats  = flag.Bool("waitstats", false, "print lock-wait instrumentation per -scaling cell")
 		storage    = flag.Bool("storage", false, "with -scaling: sweep the row-store partition count (Options.TableShards) on the read-heavy kvmix mix instead of the lock-table shard count")
+		contention = flag.Bool("contention", false, "with -scaling: use the hot-key kvmix mix (half of all point ops on a 16-key hot set), exercising the conflict and blocking paths")
+		jsonOut    = flag.Bool("json", false, "also write machine-readable results as BENCH_<name>.json")
 	)
 	flag.Parse()
 
@@ -60,15 +70,19 @@ func main() {
 				os.Exit(2)
 			}
 		}
+		if *storage && *contention {
+			fmt.Fprintf(os.Stderr, "ssibench: -storage and -contention select different kvmix mixes; pick one\n")
+			os.Exit(2)
+		}
 		iso, ok := parseIso(*isoName)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "ssibench: unknown isolation %q (want SI, SSI or S2PL)\n", *isoName)
 			os.Exit(2)
 		}
-		runScaling(*shardList, *mplList, iso, *storage, *waitStats, *duration, *warmup, *trials, openCSV(*csvPath))
+		runScaling(*shardList, *mplList, iso, *storage, *contention, *waitStats, *jsonOut, *duration, *warmup, *trials, openCSV(*csvPath))
 		return
 	}
-	for _, f := range []string{"shards", "iso", "waitstats", "storage"} {
+	for _, f := range []string{"shards", "iso", "waitstats", "storage", "contention"} {
 		// Symmetric with the check above: these flags only drive -scaling.
 		if flagWasSet(f) {
 			fmt.Fprintf(os.Stderr, "ssibench: -%s requires -scaling\n", f)
@@ -102,7 +116,82 @@ func main() {
 		defer csv.Close()
 	}
 
-	runFigures(selected, mpls, *duration, *warmup, *trials, csv)
+	runFigures(selected, mpls, *duration, *warmup, *trials, csv, *jsonOut)
+}
+
+// benchCell is one measured cell in the machine-readable output.
+type benchCell struct {
+	Iso       string  `json:"iso"`
+	MPL       int     `json:"mpl"`
+	Shards    int     `json:"shards,omitempty"`
+	TPS       float64 `json:"tps"`
+	CI95      float64 `json:"ci95,omitempty"`
+	Commits   uint64  `json:"commits"`
+	Deadlocks uint64  `json:"deadlocks"`
+	Conflicts uint64  `json:"conflicts"`
+	Unsafe    uint64  `json:"unsafe"`
+	Timeouts  uint64  `json:"timeouts"`
+	Rollbacks uint64  `json:"rollbacks"`
+
+	// Lock-wait instrumentation for the measured window (scaling runs).
+	LockWaits      uint64  `json:"lock_waits,omitempty"`
+	LockSpinGrants uint64  `json:"lock_spin_grants,omitempty"`
+	LockParks      uint64  `json:"lock_parks,omitempty"`
+	LockWakeups    uint64  `json:"lock_wakeups,omitempty"`
+	LockWaitMs     float64 `json:"lock_wait_ms,omitempty"`
+}
+
+// benchDoc is the BENCH_<name>.json document.
+type benchDoc struct {
+	Kind     string      `json:"kind"` // "scaling" or "figure"
+	Name     string      `json:"name"`
+	Title    string      `json:"title,omitempty"`
+	Axis     string      `json:"axis,omitempty"`
+	Workload string      `json:"workload,omitempty"`
+	Duration string      `json:"duration"`
+	Trials   int         `json:"trials"`
+	Cells    []benchCell `json:"cells"`
+}
+
+// writeJSON writes doc as BENCH_<name>.json in the working directory.
+func writeJSON(doc benchDoc) {
+	path := "BENCH_" + doc.Name + ".json"
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ssibench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "ssibench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("   wrote %s\n", path)
+}
+
+// cellFromResult converts a harness result (plus optional wait-stat deltas)
+// into the JSON cell form.
+func cellFromResult(res harness.Result, shards int, st *ssidb.Stats) benchCell {
+	c := benchCell{
+		Iso:       res.Isolation.String(),
+		MPL:       res.MPL,
+		Shards:    shards,
+		TPS:       res.TPS,
+		CI95:      res.TPSCI95,
+		Commits:   res.Commits,
+		Deadlocks: res.Deadlocks,
+		Conflicts: res.Conflicts,
+		Unsafe:    res.Unsafe,
+		Timeouts:  res.Timeouts,
+		Rollbacks: res.Rollbacks,
+	}
+	if st != nil {
+		c.LockWaits = st.LockWaits
+		c.LockSpinGrants = st.LockSpinGrants
+		c.LockParks = st.LockParks
+		c.LockWakeups = st.LockWakeups
+		c.LockWaitMs = float64(st.LockWaitTime) / float64(time.Millisecond)
+	}
+	return c
 }
 
 // flagWasSet reports whether the named flag was given on the command line.
@@ -129,7 +218,7 @@ func openCSV(path string) *os.File {
 	return f
 }
 
-func runFigures(selected []harness.Figure, mpls []int, duration, warmup time.Duration, trials int, csv *os.File) {
+func runFigures(selected []harness.Figure, mpls []int, duration, warmup time.Duration, trials int, csv *os.File, jsonOut bool) {
 	opts := harness.Options{Duration: duration, Warmup: warmup, Trials: trials, Seed: 1}
 	for _, f := range selected {
 		if mpls != nil {
@@ -141,6 +230,21 @@ func runFigures(selected []harness.Figure, mpls []int, duration, warmup time.Dur
 		fmt.Printf("   (measured in %v)\n\n", time.Since(start).Round(time.Millisecond))
 		if csv != nil {
 			harness.CSV(csv, f, results)
+		}
+		if jsonOut {
+			doc := benchDoc{
+				Kind:     "figure",
+				Name:     "fig" + strings.ReplaceAll(f.ID, ".", "_"),
+				Title:    f.Title,
+				Duration: duration.String(),
+				Trials:   trials,
+			}
+			for _, iso := range f.Isolations {
+				for _, res := range results[iso] {
+					doc.Cells = append(doc.Cells, cellFromResult(res, 0, nil))
+				}
+			}
+			writeJSON(doc)
 		}
 	}
 }
@@ -166,35 +270,52 @@ func parseIso(name string) (ssidb.Isolation, bool) {
 // single lock-table latch). With storage it is instead the row store's
 // partition count (Options.TableShards, tshards=1 being the single-tree
 // store) on the read-heavy kvmix mix, whose point reads and merged scans
-// exercise the partitioned B+trees rather than the lock manager.
+// exercise the partitioned B+trees rather than the lock manager. With hot
+// the workload is the hot-key mix (kvmix.HotConfig): half of all point
+// operations land on a 16-key hot set, so transactions overlap constantly
+// and the numbers track the SSI conflict core (or S2PL's blocking) rather
+// than the uncontended engine paths.
 //
 // With waitStats each cell is followed by the lock manager's wait
 // instrumentation — how the blocked acquires resolved (spin grant versus
 // park), targeted wakeups per park, and cumulative parked time — which is
 // the number to watch for S2PL, whose blocking waits are the contended path
 // the spin-then-park redesign exists for.
-func runScaling(shardList, mplList string, iso ssidb.Isolation, storage, waitStats bool, duration, warmup time.Duration, trials int, csv *os.File) {
+func runScaling(shardList, mplList string, iso ssidb.Isolation, storage, hot, waitStats, jsonOut bool, duration, warmup time.Duration, trials int, csv *os.File) {
 	shards := parseInts(shardList, "shards")
 	mpls := parseInts(mplList, "mpl")
 	if mpls == nil {
 		mpls = []int{1, 2, 4, 8, 16, 32, 64}
 	}
 	axis, col := "lock", "shards"
+	workload := "kvmix-uniform"
 	cfg := kvmix.DefaultConfig()
-	if storage {
+	switch {
+	case storage:
 		axis, col = "table", "tshards"
+		workload = "kvmix-readheavy"
 		cfg = kvmix.ReadHeavyConfig()
+	case hot:
+		axis = "lock-hot"
+		workload = "kvmix-hot"
+		cfg = kvmix.HotConfig()
 	}
 	if csv != nil {
 		defer csv.Close()
 		fmt.Fprintf(csv, "axis,iso,mpl,shards,tps,ci95,commits,deadlocks,conflicts,unsafe,timeouts,lockwaits,spingrants,parks,wakeups,waitms\n")
 	}
 
-	if storage {
+	switch {
+	case storage:
 		fmt.Printf("== Row-store partition scaling sweep (read-heavy kvmix, %s) ==\n", iso)
 		fmt.Println("   commits/s by MPL (rows) and table partition count (columns);")
 		fmt.Println("   tshards=1 is the single-tree single-latch store.")
-	} else {
+	case hot:
+		fmt.Printf("== Hot-key contention sweep (hot kvmix, %s) ==\n", iso)
+		fmt.Println("   commits/s by MPL (rows) and lock shard count (columns);")
+		fmt.Printf("   %.0f%% of point ops hit a %d-key hot set: the conflict path is live.\n",
+			cfg.HotProb*100, cfg.HotKeys)
+	default:
 		fmt.Printf("== Lock-shard scaling sweep (kvmix, %s) ==\n", iso)
 		fmt.Println("   commits/s by MPL (rows) and lock shard count (columns);")
 		fmt.Println("   shards=1 is the paper's single lock-table latch.")
@@ -206,6 +327,14 @@ func runScaling(shardList, mplList string, iso ssidb.Isolation, storage, waitSta
 	fmt.Println()
 
 	opts := harness.Options{Duration: duration, Warmup: warmup, Trials: trials, Seed: 1}
+	doc := benchDoc{
+		Kind:     "scaling",
+		Name:     fmt.Sprintf("scaling-%s-%s", axis, iso),
+		Axis:     axis,
+		Workload: workload,
+		Duration: duration.String(),
+		Trials:   trials,
+	}
 	for _, mpl := range mpls {
 		fmt.Printf("%-6d", mpl)
 		var cellStats []ssidb.Stats
@@ -228,6 +357,7 @@ func runScaling(shardList, mplList string, iso ssidb.Isolation, storage, waitSta
 			var base ssidb.Stats
 			o.OnMeasureStart = func() { base = db.StatsSnapshot() }
 			res := harness.Run(kvmix.Worker(db, iso, cfg), o)
+			res.Isolation = iso
 			st := waitDelta(db.StatsSnapshot(), base)
 			cellStats = append(cellStats, st)
 			cell := fmt.Sprintf("%.0f", res.TPS)
@@ -241,6 +371,9 @@ func runScaling(shardList, mplList string, iso ssidb.Isolation, storage, waitSta
 					res.Timeouts, st.LockWaits, st.LockSpinGrants, st.LockParks, st.LockWakeups,
 					float64(st.LockWaitTime)/float64(time.Millisecond))
 			}
+			if jsonOut {
+				doc.Cells = append(doc.Cells, cellFromResult(res, s, &st))
+			}
 		}
 		fmt.Println()
 		if waitStats {
@@ -251,6 +384,9 @@ func runScaling(shardList, mplList string, iso ssidb.Isolation, storage, waitSta
 					st.LockWaitTime.Round(time.Millisecond))
 			}
 		}
+	}
+	if jsonOut {
+		writeJSON(doc)
 	}
 }
 

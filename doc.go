@@ -34,11 +34,20 @@
 //     timeouts and cumulative wait time (printed by ssibench -scaling
 //     -waitstats).
 //   - internal/core replaces the kernel mutex with an atomic clock, a
-//     two-store commit-serialization point, a conflict mutex taken only by
-//     SerializableSI transactions, and an id-sharded active-transaction
-//     registry whose pruning watermark (OldestActiveSnapshot) is a handful
-//     of atomic loads. Transaction ends that advance the watermark fire a
-//     hook (SetWatermarkHook) the storage layer uses to schedule garbage
+//     two-store commit-serialization point, a lock-free SSI conflict core,
+//     and an id-sharded active-transaction registry whose pruning watermark
+//     (OldestActiveSnapshot) is a handful of atomic loads. The conflict
+//     state (the paper's inConflict/outConflict) is per-transaction: atomic
+//     references written only under the owning transaction's tiny conflict
+//     mutex, so the per-operation abort-early probe is three atomic loads
+//     with no mutex unless a dangerous structure already exists,
+//     MarkConflict coordinates only the two transactions on the edge (id
+//     order prevents deadlock), and the commit-time dangerous-structure
+//     re-check under the committing transaction's own mutex guarantees an
+//     edge racing with commit is seen by at least one of the two checks
+//     (the package comment states the memory-ordering invariants).
+//     Transaction ends that advance the watermark fire a hook
+//     (SetWatermarkHook) the storage layer uses to schedule garbage
 //     reclamation.
 //   - internal/mvcc hash-partitions every table's row store into
 //     GOMAXPROCS-scaled partitions (ssidb.Options.TableShards), each an
@@ -59,7 +68,10 @@
 //
 // The scaling benchmarks (scaling_bench_test.go, `ssibench -scaling` for
 // the lock axis, `ssibench -scaling -storage` for the row-store partition
-// axis) measure commit throughput versus parallelism and shard count on
-// low-conflict workloads, complementing the paper's figures, which measure
-// contention regimes.
+// axis, `ssibench -scaling -contention` for the hot-key mix that drives the
+// SSI conflict paths) measure commit throughput versus parallelism and
+// shard count, complementing the paper's figures, which measure contention
+// regimes at modest multiprogramming; internal/core's microbenchmarks track
+// the conflict core's per-call cost in isolation, and `ssibench -json`
+// writes every run as a machine-readable BENCH_<name>.json.
 package ssi

@@ -24,14 +24,58 @@
 //     commit) against "tick the clock, adopt a snapshot" (at first read), so
 //     that a snapshot observes every commit with a smaller timestamp fully
 //     published. It spans three atomic operations and nothing else.
-//   - csMu guards the rw-antidependency state (Txn.in/out) and makes the
-//     dangerous-structure check atomic with commit publication, exactly the
-//     atomicity Figures 3.2/3.10 require. Only SerializableSI transactions
-//     ever take it; SI and S2PL commits use the tsMu fast path alone.
+//   - The rw-antidependency state (Txn.in/out) is per-transaction: atomic
+//     references mutated only under the owning transaction's tiny conflict
+//     mutex (Txn.csMu). MarkConflict locks just the two transactions on the
+//     edge (in id order); AbortEarly's per-operation §3.7.1 probe is two
+//     atomic loads and takes no mutex at all unless a dangerous structure
+//     already exists. See "Conflict-state memory ordering" below for why the
+//     commit-time check can never miss an edge racing with commit.
 //   - The active-transaction registry is hash-sharded by transaction id;
 //     each shard maintains an atomic minimum-snapshot watermark, so
 //     OldestActiveSnapshot is a handful of atomic loads instead of a scan
 //     under a global lock.
+//
+// # Conflict-state memory ordering
+//
+// The predecessor of this design guarded every Txn.in/out reference with one
+// global mutex (csMu), taken by every SSI operation's abort-early probe —
+// a system-wide serialization point on the level's hottest path. The
+// per-transaction protocol keeps the Figures 3.2/3.10 atomicity with local
+// coordination only, resting on three invariants:
+//
+//  1. A transaction's in/out references change only while its csMu is held.
+//     MarkConflict holds both endpoints' mutexes (ordered by id, so edge
+//     installs cannot deadlock); CommitPrepare and the abort-early slow path
+//     hold the single transaction's. Hence MarkConflict serializes with the
+//     commit-time dangerous-structure check of either endpoint: an edge
+//     installed before the check is seen by the check, and an install that
+//     serializes after it finds the endpoint committed (status and commitTS
+//     are published before csMu is released) and applies the committed-pivot
+//     rules of Figures 3.3/3.9 instead. An edge racing with commit is
+//     therefore seen by at least one of the two checks — the atomicity the
+//     paper's "atomic commit section" exists to provide.
+//  2. Lock-free readers (AbortEarly's fast path, HasInConflict/HasOutConflict)
+//     may observe a reference as nil that a racing MarkConflict is about to
+//     install. That is the same outcome as the reader running entirely
+//     before the edge existed: safe, because the commit-time re-check under
+//     csMu is the authoritative one; abort-early is only the §3.7.1
+//     optimisation that usually fires sooner.
+//  3. Checks read third-party commit timestamps (commitTime of a reference)
+//     without that third party's mutex. A single such load is sound because
+//     commitTS transitions once, 0 → final, with sequentially-consistent
+//     atomics, and the clock is monotone: a timestamp not yet visible at
+//     check time can only materialise as a timestamp allocated later, i.e.
+//     larger than every timestamp the check did observe — which is exactly
+//     the "committed later" verdict the conservative infinity stands for.
+//     When a check compares TWO third-party timestamps (the Figure 3.10
+//     commit-time test), the pair is not an atomic snapshot, and order
+//     matters: the incoming side is read first, so a finite inCT is still
+//     exact when outCT is read (finality) and an infinite inCT is
+//     conservative regardless of outCT. Reading the outgoing side first
+//     would let both counterparts commit between the loads and produce a
+//     "safe" outCT = ∞ / finite-inCT pair no atomic evaluation allows —
+//     see pivotUnsafeLocked.
 package core
 
 import (
@@ -143,11 +187,13 @@ const (
 // thesis §3.3) so that later operations by concurrent transactions can still
 // find its conflict flags.
 //
-// Fields in the "guarded by Manager.csMu" group implement the inConflict /
-// outConflict state of the paper. With DetectorBasic a non-nil reference
-// simply means "flag set" (it is always a self-reference); with
-// DetectorPrecise it names the single conflicting transaction, degrading to a
-// self-reference when there is more than one (thesis §3.6).
+// in/out implement the inConflict / outConflict state of the paper. With
+// DetectorBasic a non-nil reference simply means "flag set" (it is always a
+// self-reference); with DetectorPrecise it names the single conflicting
+// transaction, degrading to a self-reference when there is more than one
+// (thesis §3.6). Both are written only under this transaction's csMu but
+// read lock-free by the abort-early fast path; see the package comment's
+// memory-ordering invariants.
 type Txn struct {
 	id  uint64
 	iso Isolation
@@ -157,9 +203,15 @@ type Txn struct {
 	commitTS atomic.Uint64 // 0 until committed
 	status   atomic.Int32
 
-	// Guarded by Manager.csMu.
-	in  *Txn // transaction with an rw-edge into this one, or self if several
-	out *Txn // transaction with an rw-edge out of this one, or self if several
+	// csMu is this transaction's conflict-state mutex: it guards mutation
+	// of in/out and makes the commit-time dangerous-structure check atomic
+	// against concurrent edge installs. MarkConflict takes both endpoints'
+	// mutexes in id order; everything else takes at most this one. It is
+	// uncontended unless two transactions actually share an rw-edge.
+	csMu sync.Mutex
+
+	in  atomic.Pointer[Txn] // rw-edge into this txn, or self if several
+	out atomic.Pointer[Txn] // rw-edge out of this txn, or self if several
 
 	// Guarded by Manager.suspMu.
 	suspended bool
@@ -280,11 +332,6 @@ type Manager struct {
 	// transaction whose snapshot is ts observes every commit with a smaller
 	// timestamp fully published. Nothing else runs under it.
 	tsMu sync.Mutex
-
-	// csMu guards every Txn.in/out reference and makes MarkConflict atomic
-	// with the dangerous-structure commit check (Figures 3.2/3.10). Only
-	// conflict-tracking (SerializableSI) paths take it.
-	csMu sync.Mutex
 
 	shards []*regShard
 	mask   uint64
@@ -465,13 +512,21 @@ func (m *Manager) Now() TS {
 // reports that by returning ErrUnsafe. The caller must then abort.
 //
 // This is Figure 3.3 (DetectorBasic) and Figure 3.9 (DetectorPrecise) of the
-// thesis.
+// thesis. Coordination is pairwise only: both endpoints' conflict mutexes
+// are held, in id order, which serializes the install against either
+// endpoint's commit-time check without any global lock.
 func (m *Manager) MarkConflict(reader, writer, caller *Txn) error {
 	if reader == writer || reader == nil || writer == nil {
 		return nil
 	}
-	m.csMu.Lock()
-	defer m.csMu.Unlock()
+	lo, hi := reader, writer
+	if hi.id < lo.id {
+		lo, hi = hi, lo
+	}
+	lo.csMu.Lock()
+	hi.csMu.Lock()
+	defer hi.csMu.Unlock()
+	defer lo.csMu.Unlock()
 
 	// Conflicts with aborted transactions are irrelevant (§3.7.1): an
 	// aborted transaction's edges cannot appear in the MVSG.
@@ -483,14 +538,14 @@ func (m *Manager) MarkConflict(reader, writer, caller *Txn) error {
 
 	switch m.detector {
 	case DetectorBasic:
-		if writer.Committed() && writer.out != nil {
+		if writer.Committed() && writer.out.Load() != nil {
 			// writer is a committed pivot; the only way to break the
 			// potential cycle is to abort the reader (§3.4). The reader is
 			// necessarily the caller: a committed transaction executes no
 			// operations.
 			return m.abortLocked(reader, caller)
 		}
-		if reader.Committed() && reader.in != nil {
+		if reader.Committed() && reader.in.Load() != nil {
 			// reader is a committed pivot; abort the writer (the caller).
 			return m.abortLocked(writer, caller)
 		}
@@ -500,26 +555,28 @@ func (m *Manager) MarkConflict(reader, writer, caller *Txn) error {
 		// could be first to commit in a cycle. A reader-committed pivot is
 		// safe here because the writer (its Tout) is still running and so
 		// cannot have committed first.
-		if writer.Committed() && writer.out != nil && commitTimeLocked(writer.out) <= writer.CommitTS() {
-			return m.abortLocked(reader, caller)
+		if writer.Committed() {
+			if wout := writer.out.Load(); wout != nil && commitTime(wout) <= writer.CommitTS() {
+				return m.abortLocked(reader, caller)
+			}
 		}
 	}
 
 	// Record the edge on both endpoints.
 	switch {
 	case m.detector == DetectorBasic:
-		reader.out = reader
-		writer.in = writer
+		reader.out.Store(reader)
+		writer.in.Store(writer)
 	default: // DetectorPrecise
-		if reader.out == nil {
-			reader.out = writer
-		} else if reader.out != writer {
-			reader.out = reader // several outgoing partners: degrade to flag
+		if rout := reader.out.Load(); rout == nil {
+			reader.out.Store(writer)
+		} else if rout != writer {
+			reader.out.Store(reader) // several outgoing partners: degrade to flag
 		}
-		if writer.in == nil {
-			writer.in = reader
-		} else if writer.in != reader {
-			writer.in = writer
+		if win := writer.in.Load(); win == nil {
+			writer.in.Store(reader)
+		} else if win != reader {
+			writer.in.Store(writer)
 		}
 	}
 	return nil
@@ -528,8 +585,8 @@ func (m *Manager) MarkConflict(reader, writer, caller *Txn) error {
 // abortLocked marks victim aborted. The victim must be the caller — the
 // transaction executing the operation that discovered the conflict — and the
 // error is returned for the caller to propagate while it rolls back. The
-// caller holds csMu; the registry removal nests the shard mutex inside it
-// (lock order: csMu → registry shard → tsMu).
+// caller holds the victim's csMu; the registry removal nests the shard mutex
+// inside it (lock order: txn csMu → registry shard → tsMu).
 func (m *Manager) abortLocked(victim, caller *Txn) error {
 	if victim != caller {
 		// Cannot happen per the analysis in §3.4: the endangered party is
@@ -546,24 +603,27 @@ func (m *Manager) abortLocked(victim, caller *Txn) error {
 // aborted: an aborted transaction's versions are rolled back and its reads
 // void, so its edges cannot participate in any MVSG cycle. Self-references
 // (which stand for "several counterparts") stay, conservatively. Only
-// meaningful with DetectorPrecise, where references name counterparts.
+// meaningful with DetectorPrecise, where references name counterparts. The
+// caller holds t's csMu.
 func (m *Manager) dropAbortedRefsLocked(t *Txn) {
 	if m.detector != DetectorPrecise {
 		return
 	}
-	if t.in != nil && t.in != t && t.in.Aborted() {
-		t.in = nil
+	if in := t.in.Load(); in != nil && in != t && in.Aborted() {
+		t.in.Store(nil)
 	}
-	if t.out != nil && t.out != t && t.out.Aborted() {
-		t.out = nil
+	if out := t.out.Load(); out != nil && out != t && out.Aborted() {
+		t.out.Store(nil)
 	}
 }
 
-// commitTimeLocked returns the commit timestamp of a conflict reference, or
+// commitTime returns the commit timestamp of a conflict reference, or
 // tsInfinity if it has not committed. Self-references of committed
 // transactions act as that transaction's own commit time, which makes the
 // Figure 3.9/3.10 comparisons conservative exactly as the thesis prescribes.
-func commitTimeLocked(t *Txn) TS {
+// Reading a third party's commitTS without its mutex is sound — see
+// invariant 3 of the package comment.
+func commitTime(t *Txn) TS {
 	if ct := t.CommitTS(); ct != 0 {
 		return ct
 	}
@@ -574,16 +634,23 @@ func commitTimeLocked(t *Txn) TS {
 // outgoing rw-edge forming a potentially dangerous structure, under the
 // configured detector. It is the test applied at commit (Figures 3.2/3.10)
 // and, with the abort-early optimisation of §3.7.1, at the start of every
-// operation.
+// operation. The no-structure fast path is two atomic loads; only a
+// transaction that already carries both edges takes its conflict mutex.
 func (m *Manager) PivotUnsafe(t *Txn) bool {
-	m.csMu.Lock()
-	defer m.csMu.Unlock()
+	if t.in.Load() == nil || t.out.Load() == nil {
+		return false
+	}
+	t.csMu.Lock()
+	defer t.csMu.Unlock()
 	return m.pivotUnsafeLocked(t)
 }
 
+// pivotUnsafeLocked is the dangerous-structure test; the caller holds t's
+// csMu, so t.in/t.out are stable across the check.
 func (m *Manager) pivotUnsafeLocked(t *Txn) bool {
 	m.dropAbortedRefsLocked(t)
-	if t.in == nil || t.out == nil {
+	in, out := t.in.Load(), t.out.Load()
+	if in == nil || out == nil {
 		return false
 	}
 	if m.detector == DetectorBasic {
@@ -595,13 +662,25 @@ func (m *Manager) pivotUnsafeLocked(t *Txn) bool {
 	// at least one possibly committed first": treat as earliest possible.
 	// A self-reference on the incoming side is likewise conservative
 	// (latest possible).
-	outCT := TS(0)
-	if t.out != t {
-		outCT = commitTimeLocked(t.out)
-	}
+	//
+	// The incoming side MUST be read before the outgoing side. Neither
+	// counterpart's commit is blocked by t's csMu, so the two loads are not
+	// an atomic snapshot; what makes the pair sound is that a finite
+	// commitTS is immutable while "uncommitted" is not. Reading in first,
+	// every observable pair is consistent with an atomic evaluation at the
+	// instant of the out load: a finite inCT is still exact then, and
+	// inCT = ∞ makes the verdict unsafe regardless of out (conservative).
+	// Read in the other order, both counterparts committing between the
+	// loads (out first) yields outCT = ∞ against a finite inCT — a "safe"
+	// verdict no atomic evaluation would produce, and a dangerous
+	// structure slips through (package comment, invariant 3).
 	inCT := tsInfinity
-	if t.in != t {
-		inCT = commitTimeLocked(t.in)
+	if in != t {
+		inCT = commitTime(in)
+	}
+	outCT := TS(0)
+	if out != t {
+		outCT = commitTime(out)
 	}
 	return outCT <= inCT
 }
@@ -609,6 +688,13 @@ func (m *Manager) pivotUnsafeLocked(t *Txn) bool {
 // AbortEarly implements §3.7.1: called at the start of each operation of t,
 // it aborts t (returning ErrUnsafe) if t has already become an unsafe pivot.
 // It also surfaces aborts decided elsewhere and guards finished transactions.
+//
+// This is the engine's hottest conflict-path call — once per Get, Put and
+// Scan of every SerializableSI transaction — and it is mutex-free unless t
+// already carries both an incoming and an outgoing edge: three atomic loads
+// (status, in, out) decide the common no-structure case. A racing edge
+// install this probe misses is caught by the next probe or by the
+// commit-time check (package comment, invariant 2).
 func (m *Manager) AbortEarly(t *Txn) error {
 	switch t.Status() {
 	case StatusAborted:
@@ -619,8 +705,11 @@ func (m *Manager) AbortEarly(t *Txn) error {
 	if !t.iso.TracksConflicts() {
 		return nil
 	}
-	m.csMu.Lock()
-	defer m.csMu.Unlock()
+	if t.in.Load() == nil || t.out.Load() == nil {
+		return nil // no dangerous structure: lock-free exit
+	}
+	t.csMu.Lock()
+	defer t.csMu.Unlock()
 	if m.pivotUnsafeLocked(t) {
 		t.status.Store(int32(StatusAborted))
 		m.deregister(t)
@@ -648,8 +737,13 @@ func (m *Manager) CommitPrepare(t *Txn) (TS, error) {
 	if !t.iso.TracksConflicts() {
 		return m.stampCommitted(t), nil
 	}
-	m.csMu.Lock()
-	defer m.csMu.Unlock()
+	// t's own conflict mutex makes the re-check atomic with commit
+	// publication: a MarkConflict involving t either completed before (its
+	// edge is visible to pivotUnsafeLocked) or serializes after csMu is
+	// released, where it finds t committed — with commitTS and status
+	// published — and applies the committed-pivot rules instead.
+	t.csMu.Lock()
+	defer t.csMu.Unlock()
 	if m.pivotUnsafeLocked(t) {
 		t.status.Store(int32(StatusAborted))
 		m.deregister(t)
@@ -660,11 +754,11 @@ func (m *Manager) CommitPrepare(t *Txn) (TS, error) {
 		// Figure 3.10 lines 9-12: replace references to already-committed
 		// transactions with self-references so a suspended transaction only
 		// ever references transactions with an equal or later commit.
-		if t.in != nil && t.in.Committed() {
-			t.in = t
+		if in := t.in.Load(); in != nil && in.Committed() {
+			t.in.Store(t)
 		}
-		if t.out != nil && t.out.Committed() {
-			t.out = t
+		if out := t.out.Load(); out != nil && out.Committed() {
+			t.out.Store(t)
 		}
 	}
 	return ct, nil
@@ -820,16 +914,15 @@ func (m *Manager) Suspended(t *Txn) bool {
 	return t.suspended
 }
 
-// HasInConflict and HasOutConflict expose the conflict flags for tests.
+// HasInConflict reports whether an incoming rw-edge has been recorded on t.
+// A lock-free load: the commit path uses it for suspension bookkeeping and
+// tests for assertions, neither of which needs install-ordering beyond what
+// the atomics provide (package comment, invariant 2).
 func (m *Manager) HasInConflict(t *Txn) bool {
-	m.csMu.Lock()
-	defer m.csMu.Unlock()
-	return t.in != nil
+	return t.in.Load() != nil
 }
 
 // HasOutConflict reports whether an outgoing rw-edge has been recorded on t.
 func (m *Manager) HasOutConflict(t *Txn) bool {
-	m.csMu.Lock()
-	defer m.csMu.Unlock()
-	return t.out != nil
+	return t.out.Load() != nil
 }

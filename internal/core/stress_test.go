@@ -1,0 +1,240 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestConflictCoreStress hammers the per-transaction conflict state from
+// many goroutines at once: overlapping transactions mark rw-edges against
+// each other (in both roles), probe AbortEarly before every operation,
+// commit through CommitPrepare/Finish with suspension on, and abort on any
+// unsafe verdict — exactly the interleaving surface the global csMu used to
+// serialize. Under -race this checks the pairwise-mutex protocol's memory
+// discipline (atomic in/out loads against mutex-held stores); the final
+// census checks that no abort/deregister/suspend path leaks bookkeeping.
+func TestConflictCoreStress(t *testing.T) {
+	for _, det := range []Detector{DetectorBasic, DetectorPrecise} {
+		det := det
+		name := map[Detector]string{DetectorBasic: "basic", DetectorPrecise: "precise"}[det]
+		t.Run(name, func(t *testing.T) {
+			m := NewManager(det)
+
+			const workers = 8
+			iters := 2000
+			if testing.Short() {
+				iters = 300
+			}
+
+			// The partner pool: each worker publishes its current active
+			// transaction so others can mark conflicts against it while it
+			// runs — committed-and-suspended partners stay reachable through
+			// stale reads of the slots, exercising the suspended paths too.
+			var pool [workers]atomic.Pointer[Txn]
+
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					r := rand.New(rand.NewSource(int64(w)*2654435761 + 1))
+					for i := 0; i < iters; i++ {
+						txn := m.Begin(SerializableSI)
+						m.AssignSnapshot(txn)
+						pool[w].Store(txn)
+
+						aborted := false
+						for op := 0; op < 4; op++ {
+							if err := m.AbortEarly(txn); err != nil {
+								// AbortEarly already marked txn aborted and
+								// deregistered it; Abort is the idempotent
+								// cleanup the engine would run.
+								m.Abort(txn)
+								aborted = true
+								break
+							}
+							other := pool[r.Intn(workers)].Load()
+							if other == nil || other == txn {
+								continue
+							}
+							var err error
+							if r.Intn(2) == 0 {
+								err = m.MarkConflict(txn, other, txn) // txn reads, other wrote
+							} else {
+								err = m.MarkConflict(other, txn, txn) // other read, txn writes
+							}
+							if err != nil {
+								m.Abort(txn)
+								aborted = true
+								break
+							}
+						}
+						if aborted {
+							continue
+						}
+						if r.Intn(8) == 0 {
+							m.Abort(txn) // application rollback
+							continue
+						}
+						if _, err := m.CommitPrepare(txn); err != nil {
+							m.Abort(txn)
+							continue
+						}
+						m.Finish(txn, r.Intn(2) == 0)
+					}
+					pool[w].Store(nil)
+				}(w)
+			}
+			wg.Wait()
+
+			// Quiesce: one last clean transaction end makes the final sweep
+			// observe an empty registry and drain the suspended list.
+			last := m.Begin(SerializableSI)
+			m.AssignSnapshot(last)
+			if _, err := m.CommitPrepare(last); err != nil {
+				t.Fatalf("quiescing commit: %v", err)
+			}
+			m.Finish(last, false)
+
+			st := m.StatsSnapshot()
+			if st.Active != 0 {
+				t.Fatalf("leaked %d active transactions", st.Active)
+			}
+			if st.Suspended != 0 {
+				t.Fatalf("leaked %d suspended transactions", st.Suspended)
+			}
+		})
+	}
+}
+
+// TestMarkConflictCommitRace pins the correctness crux of the lock-free
+// conflict core: an edge installed concurrently with the pivot's commit must
+// be observed by MarkConflict (which then sees a committed pivot) or by
+// CommitPrepare's re-check — never by neither. The dangerous structure
+// tin -rw-> pivot -rw-> tout is assembled with the pivot's incoming edge
+// racing its commit; whatever the interleaving, it must be impossible for
+// the pivot to commit AND a later structure check on it to report unsafe
+// without anyone having been told to abort.
+func TestMarkConflictCommitRace(t *testing.T) {
+	for _, det := range []Detector{DetectorBasic, DetectorPrecise} {
+		det := det
+		name := map[Detector]string{DetectorBasic: "basic", DetectorPrecise: "precise"}[det]
+		t.Run(name, func(t *testing.T) {
+			iters := 3000
+			if testing.Short() {
+				iters = 500
+			}
+			for i := 0; i < iters; i++ {
+				m := NewManager(det)
+				tin := m.Begin(SerializableSI)
+				pivot := m.Begin(SerializableSI)
+				tout := m.Begin(SerializableSI)
+				for _, txn := range []*Txn{tin, pivot, tout} {
+					m.AssignSnapshot(txn)
+				}
+				// The outgoing half of the structure exists; tout commits,
+				// making the structure dangerous once the incoming edge
+				// lands (tout committed first).
+				if err := m.MarkConflict(pivot, tout, pivot); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := m.CommitPrepare(tout); err != nil {
+					t.Fatal(err)
+				}
+				m.Finish(tout, true)
+
+				var markErr, commitErr error
+				var wg sync.WaitGroup
+				wg.Add(2)
+				go func() {
+					defer wg.Done()
+					markErr = m.MarkConflict(tin, pivot, tin)
+				}()
+				go func() {
+					defer wg.Done()
+					_, commitErr = m.CommitPrepare(pivot)
+				}()
+				wg.Wait()
+
+				committed := commitErr == nil
+				if committed && markErr == nil && m.PivotUnsafe(pivot) {
+					// The pivot committed, the edge install went through
+					// unchallenged, yet the full structure is in place:
+					// both checks missed the race.
+					t.Fatalf("iter %d: pivot committed with a dangerous structure and nobody aborted", i)
+				}
+				if committed {
+					m.Finish(pivot, true)
+				} else {
+					m.Abort(pivot)
+				}
+				m.Abort(tin)
+			}
+		})
+	}
+}
+
+// TestCounterpartCommitRace pins the load-ordering invariant of the
+// Figure 3.10 commit-time check (package comment, invariant 3): with the
+// full structure tin -rw-> pivot -rw-> tout already installed and all three
+// transactions still active, the pivot's CommitPrepare races both
+// counterparts' commits, tout first. Every atomic evaluation of the check
+// yields unsafe here — tout uncommitted at the check means both sides are
+// uncommitted (∞ ≤ ∞), and tout committed means commit(tout) < commit(tin)
+// since tout commits first — so the pivot must abort in every interleaving.
+// Reading the outgoing timestamp before the incoming one opens a window
+// (both counterparts commit between the loads) where the pivot commits and
+// the dangerous structure is admitted; this test exists to catch that.
+func TestCounterpartCommitRace(t *testing.T) {
+	iters := 5000
+	if testing.Short() {
+		iters = 500
+	}
+	for i := 0; i < iters; i++ {
+		m := NewManager(DetectorPrecise)
+		tin := m.Begin(SerializableSI)
+		pivot := m.Begin(SerializableSI)
+		tout := m.Begin(SerializableSI)
+		for _, txn := range []*Txn{tin, pivot, tout} {
+			m.AssignSnapshot(txn)
+		}
+		if err := m.MarkConflict(tin, pivot, tin); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.MarkConflict(pivot, tout, pivot); err != nil {
+			t.Fatal(err)
+		}
+
+		var commitErr error
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			_, commitErr = m.CommitPrepare(pivot)
+		}()
+		go func() {
+			defer wg.Done()
+			// tout first, then tin: if both commit, commit(tout) is the
+			// smaller timestamp, which is what makes the structure
+			// unconditionally dangerous for the pivot.
+			if _, err := m.CommitPrepare(tout); err == nil {
+				m.Finish(tout, true)
+			} else {
+				m.Abort(tout)
+			}
+			if _, err := m.CommitPrepare(tin); err == nil {
+				m.Finish(tin, true)
+			} else {
+				m.Abort(tin)
+			}
+		}()
+		wg.Wait()
+
+		if commitErr == nil {
+			t.Fatalf("iter %d: pivot committed inside a dangerous structure whose Tout committed first", i)
+		}
+		m.Abort(pivot)
+	}
+}

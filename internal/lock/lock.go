@@ -220,6 +220,15 @@ type shard struct {
 	mu    sync.Mutex
 	table map[Key]*entry
 
+	// free recycles entry records within the shard. Lock entries are
+	// garbage-collected the moment nothing holds or waits on them
+	// (gcEntryLocked), so a point operation on an otherwise idle key
+	// creates and discards one per acquire — recycling turns that into a
+	// pointer pop/push under the already-held shard mutex. Recycled
+	// entries keep their (empty) holders map, saving the map allocation
+	// too. Capped so an exceptional burst does not pin memory forever.
+	free []*entry
+
 	// Wait-path instrumentation, guarded by mu. waits counts acquires that
 	// found a blocker at all; spinGrants the subset resolved during the
 	// bounded spin (never touching the waits-for graph); parks the subset
@@ -246,6 +255,21 @@ type shard struct {
 
 func newShard(idx int) *shard {
 	return &shard{idx: idx, table: make(map[Key]*entry)}
+}
+
+// entryFreeCap bounds each shard's entry free list.
+const entryFreeCap = 64
+
+// getEntryLocked returns a recycled or fresh empty entry; the caller holds
+// the shard mutex.
+func (s *shard) getEntryLocked() *entry {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return e
+	}
+	return &entry{holders: make(map[*core.Txn]Mode)}
 }
 
 // ownerState is one transaction's lock bookkeeping: the keys it holds (with
@@ -276,6 +300,16 @@ func stateOf(owner *core.Txn) *ownerState {
 	return nil
 }
 
+// keysMapPool recycles ownerState key maps: every transaction that takes a
+// lock needs one, and a terminal release empties it, so recycling turns the
+// per-transaction map (and its bucket growth on first insert) into a pool
+// hit. Only the map is pooled — the ownerState itself may still be
+// referenced through stale lock-table reads after release (the released
+// flag protocol), so recycling the struct could alias two owners; the map
+// is only ever touched under os.mu after a released check, which makes its
+// handoff safe.
+var keysMapPool = sync.Pool{New: func() any { return make(map[Key]Mode, 8) }}
+
 // stateFor returns the owner's bookkeeping, creating it on first use — or
 // afresh after a ReleaseAll, so tests reusing a transaction keep working.
 // Only the owner's own goroutine acquires locks, so the unsynchronised
@@ -284,7 +318,7 @@ func stateFor(owner *core.Txn) *ownerState {
 	if os := stateOf(owner); os != nil && !os.released.Load() {
 		return os
 	}
-	os := &ownerState{keys: make(map[Key]Mode)}
+	os := &ownerState{keys: keysMapPool.Get().(map[Key]Mode)}
 	owner.SetLockState(os)
 	return os
 }
@@ -388,6 +422,16 @@ const acquireSpins = 4
 // waiters (FIFO, so a stream of compatible requests cannot starve a parked
 // incompatible one).
 func (m *Manager) Acquire(owner *core.Txn, key Key, mode Mode) (rivals []*core.Txn, err error) {
+	return m.AcquireInto(owner, key, mode, nil)
+}
+
+// AcquireInto is Acquire appending any rivals to the caller-supplied buffer
+// (which may be nil) and returning it. The engine's per-operation paths pass
+// a per-transaction scratch buffer so an uncontended point operation
+// performs no rival-slice allocation at all; Acquire is the convenience
+// form that always returns a fresh slice. On error the buffer is returned
+// with whatever prefix it already carried.
+func (m *Manager) AcquireInto(owner *core.Txn, key Key, mode Mode, buf []*core.Txn) (rivals []*core.Txn, err error) {
 	os := stateFor(owner)
 	s := m.shardOf(key)
 	s.mu.Lock()
@@ -399,12 +443,12 @@ func (m *Manager) Acquire(owner *core.Txn, key Key, mode Mode) (rivals []*core.T
 		// while the spin loop is off the shard mutex.
 		e := s.table[key]
 		if e == nil {
-			e = &entry{holders: make(map[*core.Txn]Mode)}
+			e = s.getEntryLocked()
 			s.table[key] = e
 		}
 
 		if e.holders[owner]&mode == mode {
-			rivals = rivalsLocked(e, owner, mode) // already held
+			rivals = rivalsInto(e, owner, mode, buf) // already held
 			s.mu.Unlock()
 			return rivals, nil
 		}
@@ -412,7 +456,7 @@ func (m *Manager) Acquire(owner *core.Txn, key Key, mode Mode) (rivals []*core.T
 			// Already upgraded: the exclusive lock subsumes the read lock's
 			// conflict-detection role (our new version is the signal).
 			s.mu.Unlock()
-			return nil, nil
+			return buf, nil
 		}
 
 		conv := e.holders[owner]&(Shared|Exclusive) != 0
@@ -421,7 +465,7 @@ func (m *Manager) Acquire(owner *core.Txn, key Key, mode Mode) (rivals []*core.T
 			if blocked {
 				s.spinGrants++
 			}
-			rivals = rivalsLocked(e, owner, mode)
+			rivals = rivalsInto(e, owner, mode, buf)
 			m.grantLocked(os, e, owner, key, mode)
 			if conv && e.q.n > 0 {
 				// A conversion grant can newly block parked waiters (an
@@ -459,12 +503,16 @@ func (m *Manager) Acquire(owner *core.Txn, key Key, mode Mode) (rivals []*core.T
 			// holder or a parked waiter, so the entry is in use.
 			putWaiter(w)
 			s.mu.Unlock()
-			return nil, core.ErrDeadlock
+			return buf, core.ErrDeadlock
 		}
 		e.q.enqueue(w)
 		s.parks++
 		s.mu.Unlock()
-		return m.await(s, w)
+		got, err := m.await(s, w)
+		if err != nil {
+			return buf, err
+		}
+		return append(buf, got...), nil
 	}
 }
 
@@ -560,6 +608,12 @@ func blockersLocked(e *entry, owner *core.Txn, key Key, mode Mode) []*core.Txn {
 // rivalsLocked returns the other owners whose held modes signal a read-write
 // conflict with a request.
 func rivalsLocked(e *entry, owner *core.Txn, mode Mode) []*core.Txn {
+	return rivalsInto(e, owner, mode, nil)
+}
+
+// rivalsInto appends the rivals to out and returns it, so hot callers can
+// reuse one buffer across acquires instead of allocating per request.
+func rivalsInto(e *entry, owner *core.Txn, mode Mode, out []*core.Txn) []*core.Txn {
 	own := e.holders[owner]
 	switch mode {
 	case Exclusive:
@@ -568,7 +622,7 @@ func rivalsLocked(e *entry, owner *core.Txn, mode Mode) []*core.Txn {
 			n--
 		}
 		if n == 0 {
-			return nil
+			return out
 		}
 	case SIRead:
 		n := e.nExclusive
@@ -576,12 +630,11 @@ func rivalsLocked(e *entry, owner *core.Txn, mode Mode) []*core.Txn {
 			n--
 		}
 		if n == 0 {
-			return nil
+			return out
 		}
 	default:
-		return nil
+		return out
 	}
-	var out []*core.Txn
 	for h, held := range e.holders {
 		if h == owner {
 			continue
@@ -670,13 +723,21 @@ func (m *Manager) release(owner *core.Txn, modes Mode) {
 	keyBufPool.Put(bufp)
 
 	if terminal {
-		// Drop the bookkeeping map: transaction records stay reachable from
-		// version chains and the suspended list long after their locks are
-		// gone, and a pointer-rich map pinned to each would swell the live
-		// heap the garbage collector re-scans every cycle.
+		// Detach the bookkeeping map: transaction records stay reachable
+		// from version chains and the suspended list long after their locks
+		// are gone, and a pointer-rich map pinned to each would swell the
+		// live heap the garbage collector re-scans every cycle. The drained
+		// map goes back to the pool for the next transaction; the released
+		// flag (set above, checked by every accessor under os.mu) guarantees
+		// nothing records into this owner again.
 		os.mu.Lock()
+		detached := os.keys
 		os.keys = nil
 		os.mu.Unlock()
+		if detached != nil {
+			clear(detached)
+			keysMapPool.Put(detached)
+		}
 	}
 }
 
@@ -718,11 +779,16 @@ func (m *Manager) releaseKeyLocked(s *shard, os *ownerState, owner *core.Txn, ke
 	gcEntryLocked(s, key, e)
 }
 
-// gcEntryLocked removes key's entry once nothing holds or waits on it; the
-// caller holds the shard mutex.
+// gcEntryLocked removes key's entry once nothing holds or waits on it,
+// recycling the record into the shard's free list; the caller holds the
+// shard mutex. An empty entry has an empty holders map and zeroed mode
+// counters by construction, so it is reusable as is.
 func gcEntryLocked(s *shard, key Key, e *entry) {
 	if len(e.holders) == 0 && e.q.n == 0 {
 		delete(s.table, key)
+		if len(s.free) < entryFreeCap {
+			s.free = append(s.free, e)
+		}
 	}
 }
 
@@ -735,8 +801,23 @@ func gcEntryLocked(s *shard, key Key, e *entry) {
 // the lock-table critical section — is what makes the grant atomic with the
 // scan against concurrent inserters.
 func (m *Manager) AcquireSIReadBatch(owner *core.Txn, keys []Key) (rivals []*core.Txn) {
+	return m.AcquireSIReadBatchInto(owner, keys, nil)
+}
+
+// seenPool recycles the per-batch rival-deduplication sets.
+var seenPool = sync.Pool{New: func() any { return make(map[*core.Txn]bool, 8) }}
+
+// AcquireSIReadBatchInto is AcquireSIReadBatch appending the rivals to the
+// caller-supplied buffer (which may be nil) and returning it, so the scan
+// path can reuse one rival buffer per transaction.
+func (m *Manager) AcquireSIReadBatchInto(owner *core.Txn, keys []Key, buf []*core.Txn) (rivals []*core.Txn) {
 	os := stateFor(owner)
-	seen := map[*core.Txn]bool{}
+	rivals = buf
+	seen := seenPool.Get().(map[*core.Txn]bool)
+	defer func() {
+		clear(seen)
+		seenPool.Put(seen)
+	}()
 	if len(m.shards) == 1 {
 		s := m.shards[0]
 		s.mu.Lock()
@@ -764,7 +845,7 @@ func (m *Manager) sireadBatchLocked(s *shard, os *ownerState, owner *core.Txn, k
 	for _, key := range keys {
 		e := s.table[key]
 		if e == nil {
-			e = &entry{holders: make(map[*core.Txn]Mode)}
+			e = s.getEntryLocked()
 			s.table[key] = e
 		}
 		held := e.holders[owner]
@@ -817,7 +898,7 @@ func (m *Manager) InheritSIRead(src, dst Key) {
 		if de == nil {
 			de = ds.table[dst]
 			if de == nil {
-				de = &entry{holders: make(map[*core.Txn]Mode)}
+				de = ds.getEntryLocked()
 				ds.table[dst] = de
 			}
 		}

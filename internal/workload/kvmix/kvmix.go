@@ -1,16 +1,21 @@
-// Package kvmix is a concurrency-control scaling microbenchmark: a uniform
-// point read/write mix over a keyspace wide enough that data conflicts are
-// rare, so throughput is dominated by the engine's begin/lock/commit paths.
-// It is not one of the paper's workloads — the paper measures contention
-// regimes at modest multiprogramming — but the probe for what the paper's
-// prototypes could not show: whether the transaction-manager core itself
-// scales with parallelism once the global kernel-mutex and lock-table
-// latches are sharded away.
+// Package kvmix is a concurrency-control scaling microbenchmark: a point
+// read/write mix whose key distribution is configurable from uniform over a
+// keyspace wide enough that data conflicts are rare (throughput dominated by
+// the engine's begin/lock/commit paths) to hot-set or Zipfian skew that
+// collides transactions on purpose (throughput dominated by the conflict
+// and blocking paths). It is not one of the paper's workloads — the paper
+// measures contention regimes at modest multiprogramming — but the probe
+// for what the paper's prototypes could not show: whether the
+// transaction-manager core itself scales with parallelism once the global
+// kernel-mutex and lock-table latches are sharded away, and what the SSI
+// conflict-tracking machinery costs once rw-edges actually occur.
 package kvmix
 
 import (
 	"encoding/binary"
+	"math"
 	"math/rand"
+	"sort"
 
 	"ssi/internal/harness"
 	"ssi/ssidb"
@@ -33,6 +38,22 @@ type Config struct {
 	Scans int
 	// ScanSpan is the key width of each scan. Default 16 when Scans > 0.
 	ScanSpan int
+
+	// HotKeys, when > 0, turns on fixed hot-set skew: each point operation
+	// targets one of the first HotKeys keys with probability HotProb and a
+	// uniform key otherwise. A small hot set at moderate probability makes
+	// concurrent transactions actually collide — uniform kvmix over 10k
+	// keys almost never does — so the SSI conflict-marking path and the
+	// lock manager's blocking path carry real traffic.
+	HotKeys int
+	// HotProb is the probability a point operation goes to the hot set.
+	// Default 0.5 when HotKeys > 0.
+	HotProb float64
+	// Zipf, when > 0, draws keys from a Zipfian distribution with this
+	// exponent over the whole keyspace (0.99 is YCSB's default skew);
+	// it overrides HotKeys. The rank→key mapping is identity, so low key
+	// ids are the popular ones.
+	Zipf float64
 }
 
 // DefaultConfig returns the standard scaling probe: 4 reads and 2 writes
@@ -47,6 +68,15 @@ func DefaultConfig() Config {
 // measures.
 func ReadHeavyConfig() Config {
 	return Config{Keys: 10000, Reads: 12, Writes: 1, Scans: 1, ScanSpan: 16}
+}
+
+// HotConfig returns the conflict-path probe: the standard 4+2 mix with half
+// of all point operations directed at a 16-key hot set. At MPL ≥ 8 nearly
+// every SSI transaction overlaps a rival on a hot key, so rw-edges are
+// installed and checked constantly — the regime that exposes the cost of
+// the conflict core, which uniform kvmix hides at both extremes.
+func HotConfig() Config {
+	return Config{Keys: 10000, Reads: 4, Writes: 2, HotKeys: 16, HotProb: 0.5}
 }
 
 func (c Config) normalized() Config {
@@ -65,7 +95,47 @@ func (c Config) normalized() Config {
 	if c.Scans > 0 && c.ScanSpan <= 0 {
 		c.ScanSpan = 16
 	}
+	if c.HotKeys > c.Keys {
+		c.HotKeys = c.Keys
+	}
+	if c.HotKeys > 0 && c.HotProb <= 0 {
+		c.HotProb = 0.5
+	}
 	return c
+}
+
+// Contended reports whether the configuration skews its key choice.
+func (c Config) Contended() bool { return c.Zipf > 0 || c.HotKeys > 0 }
+
+// chooser returns the key-id chooser for the configuration. The uniform and
+// hot-set choosers are stateless; the Zipfian chooser inverts a cumulative
+// weight table built once here, so every variant is allocation-free per call
+// and safe for concurrent use with per-worker *rand.Rands.
+func (c Config) chooser() func(r *rand.Rand) int {
+	switch {
+	case c.Zipf > 0:
+		cdf := make([]float64, c.Keys)
+		sum := 0.0
+		for i := 0; i < c.Keys; i++ {
+			sum += 1 / math.Pow(float64(i+1), c.Zipf)
+			cdf[i] = sum
+		}
+		for i := range cdf {
+			cdf[i] /= sum
+		}
+		return func(r *rand.Rand) int {
+			return sort.SearchFloat64s(cdf, r.Float64())
+		}
+	case c.HotKeys > 0:
+		return func(r *rand.Rand) int {
+			if r.Float64() < c.HotProb {
+				return r.Intn(c.HotKeys)
+			}
+			return r.Intn(c.Keys)
+		}
+	default:
+		return func(r *rand.Rand) int { return r.Intn(c.Keys) }
+	}
 }
 
 func key(id int) []byte {
@@ -98,14 +168,16 @@ func Load(db *ssidb.DB, cfg Config) error {
 }
 
 // Worker returns the transaction function: Reads point reads, then Scans
-// ordered range scans, then Writes point writes, each over uniformly chosen
-// keys.
+// ordered range scans, then Writes point writes, with point keys drawn from
+// the configured distribution (uniform, hot-set or Zipfian) and scan starts
+// uniform.
 func Worker(db *ssidb.DB, iso ssidb.Isolation, cfg Config) harness.TxnFunc {
 	cfg = cfg.normalized()
+	choose := cfg.chooser()
 	return func(r *rand.Rand) error {
 		return db.Run(iso, func(tx *ssidb.Txn) error {
 			for i := 0; i < cfg.Reads; i++ {
-				if _, _, err := tx.Get(Table, key(r.Intn(cfg.Keys))); err != nil {
+				if _, _, err := tx.Get(Table, key(choose(r))); err != nil {
 					return err
 				}
 			}
@@ -120,7 +192,7 @@ func Worker(db *ssidb.DB, iso ssidb.Isolation, cfg Config) harness.TxnFunc {
 				}
 			}
 			for i := 0; i < cfg.Writes; i++ {
-				if err := tx.Put(Table, key(r.Intn(cfg.Keys)), []byte("w")); err != nil {
+				if err := tx.Put(Table, key(choose(r)), []byte("w")); err != nil {
 					return err
 				}
 			}

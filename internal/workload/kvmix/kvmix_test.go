@@ -2,6 +2,7 @@ package kvmix
 
 import (
 	"encoding/binary"
+	"math"
 	"math/rand"
 	"sync"
 	"testing"
@@ -131,5 +132,68 @@ func TestConfigNormalized(t *testing.T) {
 	d := DefaultConfig()
 	if d.Keys != 10000 || d.Reads != 4 || d.Writes != 2 {
 		t.Fatalf("DefaultConfig = %+v", d)
+	}
+	h := Config{Keys: 100, HotKeys: 500}.normalized()
+	if h.HotKeys != 100 || h.HotProb != 0.5 {
+		t.Fatalf("hot normalized = %+v", h)
+	}
+	if !HotConfig().Contended() || DefaultConfig().Contended() {
+		t.Fatal("Contended misclassifies the presets")
+	}
+}
+
+// TestHotSetChooser checks the fixed hot-set distribution: with HotProb p
+// and a hot set of h keys out of K, the hot keys' expected share of draws is
+// p + (1-p)·h/K. Deterministic seed, generous tolerance.
+func TestHotSetChooser(t *testing.T) {
+	cfg := Config{Keys: 1000, HotKeys: 10, HotProb: 0.6}.normalized()
+	choose := cfg.chooser()
+	r := rand.New(rand.NewSource(7))
+	const draws = 200000
+	hot := 0
+	for i := 0; i < draws; i++ {
+		id := choose(r)
+		if id < 0 || id >= cfg.Keys {
+			t.Fatalf("key id %d outside [0, %d)", id, cfg.Keys)
+		}
+		if id < cfg.HotKeys {
+			hot++
+		}
+	}
+	want := cfg.HotProb + (1-cfg.HotProb)*float64(cfg.HotKeys)/float64(cfg.Keys)
+	got := float64(hot) / draws
+	if got < want-0.01 || got > want+0.01 {
+		t.Fatalf("hot share = %.3f, want %.3f ± 0.01", got, want)
+	}
+}
+
+// TestZipfChooser checks the Zipfian chooser: keys stay in range, rank 0 is
+// the most popular, and its share matches 1/H(K,θ) within tolerance.
+func TestZipfChooser(t *testing.T) {
+	cfg := Config{Keys: 1000, Zipf: 0.99}.normalized()
+	choose := cfg.chooser()
+	r := rand.New(rand.NewSource(11))
+	const draws = 200000
+	counts := make([]int, cfg.Keys)
+	for i := 0; i < draws; i++ {
+		id := choose(r)
+		if id < 0 || id >= cfg.Keys {
+			t.Fatalf("key id %d outside [0, %d)", id, cfg.Keys)
+		}
+		counts[id]++
+	}
+	h := 0.0
+	for i := 1; i <= cfg.Keys; i++ {
+		h += 1 / math.Pow(float64(i), cfg.Zipf)
+	}
+	want := 1 / h // P(rank 0)
+	got := float64(counts[0]) / draws
+	if got < want-0.02 || got > want+0.02 {
+		t.Fatalf("rank-0 share = %.3f, want %.3f ± 0.02", got, want)
+	}
+	for i := 1; i < 10; i++ {
+		if counts[0] < counts[i] {
+			t.Fatalf("rank 0 (%d draws) less popular than rank %d (%d draws)", counts[0], i, counts[i])
+		}
 	}
 }

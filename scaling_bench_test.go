@@ -95,45 +95,58 @@ func BenchmarkScalingIsolations(b *testing.B) {
 
 // TestScalingMeasurement prints fixed-duration ops/sec at exact worker
 // counts (1, 8, 32) per isolation level — the format recorded in
-// CHANGES.md. It is a measurement, not an assertion, and only runs when
-// SSI_SCALING_MEASURE=1 is set, so the regular suite stays fast.
+// CHANGES.md — over the uniform kvmix mix and then the hot-key mix
+// (kvmix.HotConfig), whose hot-set collisions exercise the SSI conflict
+// core and the blocking paths the uniform mix never touches. It is a
+// measurement, not an assertion, and only runs when SSI_SCALING_MEASURE=1
+// is set, so the regular suite stays fast.
 func TestScalingMeasurement(t *testing.T) {
 	if os.Getenv("SSI_SCALING_MEASURE") != "1" {
 		t.Skip("set SSI_SCALING_MEASURE=1 to run the throughput measurement")
 	}
-	cfg := kvmix.DefaultConfig()
-	for _, iso := range []ssidb.Isolation{ssidb.SnapshotIsolation, ssidb.SerializableSI, ssidb.S2PL} {
-		for _, workers := range []int{1, 8, 32} {
-			db := ssidb.Open(ssidb.Options{Detector: ssidb.DetectorPrecise})
-			if err := kvmix.Load(db, cfg); err != nil {
-				t.Fatal(err)
-			}
-			fn := kvmix.Worker(db, iso, cfg)
-			var ops atomic.Uint64
-			stop := make(chan struct{})
-			var wg sync.WaitGroup
-			for w := 0; w < workers; w++ {
-				wg.Add(1)
-				go func(w int) {
-					defer wg.Done()
-					r := rand.New(rand.NewSource(int64(w)*7919 + 1))
-					for {
-						select {
-						case <-stop:
-							return
-						default:
+	for _, mix := range []struct {
+		name string
+		cfg  kvmix.Config
+	}{
+		{"uniform", kvmix.DefaultConfig()},
+		{"hot", kvmix.HotConfig()},
+	} {
+		for _, iso := range []ssidb.Isolation{ssidb.SnapshotIsolation, ssidb.SerializableSI, ssidb.S2PL} {
+			for _, workers := range []int{1, 8, 32} {
+				db := ssidb.Open(ssidb.Options{Detector: ssidb.DetectorPrecise})
+				if err := kvmix.Load(db, mix.cfg); err != nil {
+					t.Fatal(err)
+				}
+				fn := kvmix.Worker(db, iso, mix.cfg)
+				var ops, aborts atomic.Uint64
+				stop := make(chan struct{})
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						r := rand.New(rand.NewSource(int64(w)*7919 + 1))
+						for {
+							select {
+							case <-stop:
+								return
+							default:
+							}
+							if err := fn(r); err == nil {
+								ops.Add(1)
+							} else if ssidb.IsAbort(err) {
+								aborts.Add(1)
+							}
 						}
-						if err := fn(r); err == nil {
-							ops.Add(1)
-						}
-					}
-				}(w)
+					}(w)
+				}
+				const d = 2 * time.Second
+				time.Sleep(d)
+				close(stop)
+				wg.Wait()
+				fmt.Printf("SCALING mix=%s iso=%s workers=%d commits/s=%.0f aborts/s=%.0f\n",
+					mix.name, iso, workers, float64(ops.Load())/d.Seconds(), float64(aborts.Load())/d.Seconds())
 			}
-			const d = 2 * time.Second
-			time.Sleep(d)
-			close(stop)
-			wg.Wait()
-			fmt.Printf("SCALING iso=%s workers=%d ops/s=%.0f\n", iso, workers, float64(ops.Load())/d.Seconds())
 		}
 	}
 }
@@ -178,25 +191,27 @@ func BenchmarkScalingTableShards(b *testing.B) {
 // allocs/op part of every run (CI included, no -benchmem needed), so a
 // regression that starts allocating per Get or per scanned key is visible.
 func BenchmarkGetAlloc(b *testing.B) {
-	for _, tshards := range []int{1, 8} {
-		b.Run(fmt.Sprintf("tshards=%d", tshards), func(b *testing.B) {
-			db := ssidb.Open(ssidb.Options{Detector: ssidb.DetectorPrecise, TableShards: tshards})
-			cfg := kvmix.DefaultConfig()
-			if err := kvmix.Load(db, cfg); err != nil {
-				b.Fatal(err)
-			}
-			key := []byte{0, 0, 0x12, 0x34}
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if err := db.Run(ssidb.SnapshotIsolation, func(tx *ssidb.Txn) error {
-					_, _, err := tx.Get(kvmix.Table, key)
-					return err
-				}); err != nil {
+	for _, iso := range []ssidb.Isolation{ssidb.SnapshotIsolation, ssidb.SerializableSI} {
+		for _, tshards := range []int{1, 8} {
+			b.Run(fmt.Sprintf("%s/tshards=%d", iso, tshards), func(b *testing.B) {
+				db := ssidb.Open(ssidb.Options{Detector: ssidb.DetectorPrecise, TableShards: tshards})
+				cfg := kvmix.DefaultConfig()
+				if err := kvmix.Load(db, cfg); err != nil {
 					b.Fatal(err)
 				}
-			}
-		})
+				key := []byte{0, 0, 0x12, 0x34}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := db.Run(iso, func(tx *ssidb.Txn) error {
+						_, _, err := tx.Get(kvmix.Table, key)
+						return err
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

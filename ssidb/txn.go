@@ -18,6 +18,16 @@ type Txn struct {
 	t      *core.Txn
 	writes []writeRec
 	done   bool
+
+	// rivals and lockKeys are per-transaction scratch buffers for the
+	// SIREAD/exclusive lock paths: lock.AcquireInto and
+	// AcquireSIReadBatchInto append conflicting holders into rivals, and
+	// scans assemble their SIREAD key set in lockKeys, so the steady state
+	// of a transaction's reads performs no per-operation slice allocation.
+	// Each use empties the buffer first and finishes consuming it before
+	// the next operation reuses it.
+	rivals   []*core.Txn
+	lockKeys []lock.Key
 }
 
 type writeRec struct {
@@ -206,7 +216,8 @@ func (tx *Txn) Get(tableName string, key []byte) (val []byte, found bool, err er
 // descending — the source of the paper's split-induced false positives.
 func (tx *Txn) ssiReadLocks(tb *table, key []byte) error {
 	if tx.db.opts.Granularity == GranularityRow {
-		rivals, err := tx.db.locks.Acquire(tx.t, lock.RowKey(tb.name, key), lock.SIRead)
+		rivals, err := tx.db.locks.AcquireInto(tx.t, lock.RowKey(tb.name, key), lock.SIRead, tx.rivals[:0])
+		tx.rivals = rivals[:0]
 		if err != nil {
 			return err
 		}
@@ -215,7 +226,8 @@ func (tx *Txn) ssiReadLocks(tb *table, key []byte) error {
 	for {
 		path := tb.data.PathPages(key)
 		for _, pg := range path {
-			rivals, err := tx.db.locks.Acquire(tx.t, lock.PageKey(tb.name, pg), lock.SIRead)
+			rivals, err := tx.db.locks.AcquireInto(tx.t, lock.PageKey(tb.name, pg), lock.SIRead, tx.rivals[:0])
+			tx.rivals = rivals[:0]
 			if err != nil {
 				return err
 			}
@@ -379,7 +391,8 @@ func (tx *Txn) writeLockAndCheck(tb *table, key []byte, structural bool) (core.T
 	var leaf uint32
 	if tx.db.opts.Granularity == GranularityRow {
 		var err error
-		rivals, err = tx.db.locks.Acquire(tx.t, lock.RowKey(tb.name, key), lock.Exclusive)
+		rivals, err = tx.db.locks.AcquireInto(tx.t, lock.RowKey(tb.name, key), lock.Exclusive, tx.rivals[:0])
+		tx.rivals = rivals[:0]
 		if err != nil {
 			return 0, tx.fail(err)
 		}
@@ -421,7 +434,8 @@ func (tx *Txn) gapLocks(tb *table, key []byte, mode lock.Mode) error {
 		if ok {
 			gk = lock.GapKey(tb.name, succ)
 		}
-		rivals, err := tx.db.locks.Acquire(tx.t, gk, mode)
+		rivals, err := tx.db.locks.AcquireInto(tx.t, gk, mode, tx.rivals[:0])
+		tx.rivals = rivals[:0]
 		if err != nil {
 			return err
 		}
@@ -641,8 +655,8 @@ func (tx *Txn) scanSSI(tb *table, snap core.TS, from, to []byte, limit int) (col
 
 	var res collectResult
 	res.effectiveTo = string(to)
-	var writers []*core.Txn // rw-conflict targets, marked post-latch
-	var lockKeys []lock.Key // SIREAD set, batch-acquired under the latch
+	writers := tx.rivals[:0]    // rw-conflict targets, marked post-latch
+	lockKeys := tx.lockKeys[:0] // SIREAD set, batch-acquired under the latch
 	pagesQueued := map[uint32]bool{}
 	if pageMode {
 		// The descent paths' interior pages (every partition's, since a
@@ -695,8 +709,12 @@ func (tx *Txn) scanSSI(tb *table, snap core.TS, from, to []byte, limit int) (col
 		}
 		// One lock-table critical section for the whole scan, while the
 		// latch still excludes inserters.
-		writers = append(writers, tx.db.locks.AcquireSIReadBatch(tx.t, lockKeys)...)
+		writers = tx.db.locks.AcquireSIReadBatchInto(tx.t, lockKeys, writers)
 	})
+	// Hand the (possibly grown) scratch buffers back for the next operation;
+	// writers is consumed by markAsReader below before any reuse.
+	tx.rivals = writers[:0]
+	tx.lockKeys = lockKeys[:0]
 	if limit > 0 && found >= limit && lastFound != nil {
 		res.effectiveTo = string(lastFound) + "\x00"
 	}
