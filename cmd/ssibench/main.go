@@ -31,9 +31,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"ssi/internal/figures"
@@ -57,6 +61,7 @@ func main() {
 		waitStats  = flag.Bool("waitstats", false, "print lock-wait instrumentation per -scaling cell")
 		storage    = flag.Bool("storage", false, "with -scaling: sweep the row-store partition count (Options.TableShards) on the read-heavy kvmix mix instead of the lock-table shard count")
 		contention = flag.Bool("contention", false, "with -scaling: use the hot-key kvmix mix (half of all point ops on a 16-key hot set), exercising the conflict and blocking paths")
+		scanStall  = flag.Bool("scanstall", false, "with -scaling: run continuous full-table scans over a 100k-key table against MPL point writers, sweeping Options.TableShards and reporting the writers' commit-latency percentiles alongside throughput — the writer-stall probe for the lock-coupled scan")
 		jsonOut    = flag.Bool("json", false, "also write machine-readable results as BENCH_<name>.json")
 	)
 	flag.Parse()
@@ -70,8 +75,14 @@ func main() {
 				os.Exit(2)
 			}
 		}
-		if *storage && *contention {
-			fmt.Fprintf(os.Stderr, "ssibench: -storage and -contention select different kvmix mixes; pick one\n")
+		modes := 0
+		for _, m := range []bool{*storage, *contention, *scanStall} {
+			if m {
+				modes++
+			}
+		}
+		if modes > 1 {
+			fmt.Fprintf(os.Stderr, "ssibench: -storage, -contention and -scanstall select different scenarios; pick one\n")
 			os.Exit(2)
 		}
 		iso, ok := parseIso(*isoName)
@@ -79,10 +90,23 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ssibench: unknown isolation %q (want SI, SSI or S2PL)\n", *isoName)
 			os.Exit(2)
 		}
+		if *scanStall {
+			// One continuous window per cell: no trial repetition, and the
+			// wait-stat columns belong to the blocking-lock sweeps. Reject
+			// rather than silently ignore.
+			for _, f := range []string{"trials", "waitstats"} {
+				if flagWasSet(f) {
+					fmt.Fprintf(os.Stderr, "ssibench: -%s does not apply to -scanstall\n", f)
+					os.Exit(2)
+				}
+			}
+			runScanStall(*shardList, *mplList, iso, *jsonOut, *duration, *warmup, openCSV(*csvPath))
+			return
+		}
 		runScaling(*shardList, *mplList, iso, *storage, *contention, *waitStats, *jsonOut, *duration, *warmup, *trials, openCSV(*csvPath))
 		return
 	}
-	for _, f := range []string{"shards", "iso", "waitstats", "storage", "contention"} {
+	for _, f := range []string{"shards", "iso", "waitstats", "storage", "contention", "scanstall"} {
 		// Symmetric with the check above: these flags only drive -scaling.
 		if flagWasSet(f) {
 			fmt.Fprintf(os.Stderr, "ssibench: -%s requires -scaling\n", f)
@@ -139,6 +163,15 @@ type benchCell struct {
 	LockParks      uint64  `json:"lock_parks,omitempty"`
 	LockWakeups    uint64  `json:"lock_wakeups,omitempty"`
 	LockWaitMs     float64 `json:"lock_wait_ms,omitempty"`
+
+	// Writer-latency percentiles and scan counters (-scanstall runs): the
+	// distribution of point-writer commit latencies while full-table scans
+	// run continuously.
+	WriterP50Us float64 `json:"writer_p50_us,omitempty"`
+	WriterP99Us float64 `json:"writer_p99_us,omitempty"`
+	WriterMaxUs float64 `json:"writer_max_us,omitempty"`
+	Scans       uint64  `json:"scans,omitempty"`
+	ScanAvgMs   float64 `json:"scan_avg_ms,omitempty"`
 }
 
 // benchDoc is the BENCH_<name>.json document.
@@ -388,6 +421,178 @@ func runScaling(shardList, mplList string, iso ssidb.Isolation, storage, hot, wa
 	if jsonOut {
 		writeJSON(doc)
 	}
+}
+
+// scanStallKeys is the -scanstall table width: wide enough that one full
+// scan spans hundreds of lock-coupled rounds, the regime where the old
+// hold-every-latch protocol stalled writers for the whole scan.
+const scanStallKeys = 100000
+
+// runScanStall sweeps the row-store partition count while one worker runs
+// continuous full-table scans and MPL workers run single-Put transactions on
+// uniformly random keys. Throughput alone hides a scan convoy (writers catch
+// up between scans), so each cell also reports the writers' commit-latency
+// distribution — p99 bounded by a scan *round*, not the scan, is the
+// property the lock-coupled handoff exists for.
+func runScanStall(shardList, mplList string, iso ssidb.Isolation, jsonOut bool, duration, warmup time.Duration, csv *os.File) {
+	shards := parseInts(shardList, "shards")
+	mpls := parseInts(mplList, "mpl")
+	if mpls == nil {
+		mpls = []int{1, 8, 32}
+	}
+	fmt.Printf("== Scan-stall sweep (full-table scans of %d keys vs point writers, %s) ==\n", scanStallKeys, iso)
+	fmt.Println("   writer commits/s and p99 commit latency by MPL (rows) and table")
+	fmt.Println("   partition count (columns); scans/s in parentheses.")
+	if csv != nil {
+		defer csv.Close()
+		fmt.Fprintf(csv, "axis,iso,mpl,tshards,writer_tps,writer_p50_us,writer_p99_us,writer_max_us,scans,scan_avg_ms\n")
+	}
+	fmt.Printf("%-6s", "MPL")
+	for _, s := range shards {
+		fmt.Printf("%26s", fmt.Sprintf("tshards=%d", s))
+	}
+	fmt.Println()
+
+	doc := benchDoc{
+		Kind:     "scaling",
+		Name:     fmt.Sprintf("scaling-scanstall-%s", iso),
+		Axis:     "scanstall",
+		Workload: "kvmix-scanstall",
+		Duration: duration.String(),
+		Trials:   1,
+	}
+	for _, mpl := range mpls {
+		fmt.Printf("%-6d", mpl)
+		for _, s := range shards {
+			cell := scanStallCell(iso, s, mpl, duration, warmup)
+			fmt.Printf("%26s", fmt.Sprintf("%.0f p99=%s (%.0f/s)",
+				cell.TPS, time.Duration(cell.WriterP99Us*1e3).Round(time.Microsecond),
+				float64(cell.Scans)/duration.Seconds()))
+			if csv != nil {
+				fmt.Fprintf(csv, "scanstall,%s,%d,%d,%.1f,%.1f,%.1f,%.1f,%d,%.2f\n",
+					iso, mpl, s, cell.TPS, cell.WriterP50Us, cell.WriterP99Us, cell.WriterMaxUs, cell.Scans, cell.ScanAvgMs)
+			}
+			if jsonOut {
+				doc.Cells = append(doc.Cells, cell)
+			}
+		}
+		fmt.Println()
+	}
+	if jsonOut {
+		writeJSON(doc)
+	}
+}
+
+// scanStallCell measures one (partition count, MPL) cell.
+func scanStallCell(iso ssidb.Isolation, tshards, mpl int, duration, warmup time.Duration) benchCell {
+	db := ssidb.Open(ssidb.Options{Detector: ssidb.DetectorPrecise, TableShards: tshards})
+	cfg := kvmix.Config{Keys: scanStallKeys, Reads: 0, Writes: 1}
+	if err := kvmix.Load(db, cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "ssibench: %v\n", err)
+		os.Exit(1)
+	}
+
+	var measuring, stop atomic.Bool
+	var scans atomic.Uint64
+	var scanTime atomic.Int64
+	var wg sync.WaitGroup
+
+	// The scanner: continuous full-table ordered scans.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			// Attribute by start time: a scan beginning in warmup must not
+			// leak warmup milliseconds into scan_avg_ms, and one still in
+			// flight at window end belongs to the window it started in.
+			inWindow := measuring.Load()
+			start := time.Now()
+			err := db.Run(iso, func(tx *ssidb.Txn) error {
+				return tx.Scan(kvmix.Table, nil, nil, func(k, v []byte) bool { return true })
+			})
+			if err != nil && !ssidb.IsAbort(err) {
+				fmt.Fprintf(os.Stderr, "ssibench: scan: %v\n", err)
+				os.Exit(1)
+			}
+			// Only completed scans count: an aborted attempt would inflate
+			// scans/s and shrink scan_avg_ms, masking a scan regression.
+			if inWindow && err == nil {
+				scans.Add(1)
+				scanTime.Add(int64(time.Since(start)))
+			}
+		}
+	}()
+
+	// The writers: single-Put transactions, each latency-sampled.
+	samples := make([][]int64, mpl)
+	var commits, dropped atomic.Uint64
+	for w := 0; w < mpl; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)*104729 + 7))
+			buf := make([]int64, 0, 1<<18)
+			for !stop.Load() {
+				start := time.Now()
+				err := db.Run(iso, func(tx *ssidb.Txn) error {
+					return tx.Put(kvmix.Table, kvmix.Key(r.Intn(scanStallKeys)), []byte("w"))
+				})
+				if err != nil && !ssidb.IsAbort(err) {
+					fmt.Fprintf(os.Stderr, "ssibench: writer: %v\n", err)
+					os.Exit(1)
+				}
+				if measuring.Load() && err == nil {
+					commits.Add(1)
+					if len(buf) < cap(buf) {
+						buf = append(buf, int64(time.Since(start)))
+					} else {
+						dropped.Add(1)
+					}
+				}
+			}
+			samples[w] = buf
+		}(w)
+	}
+
+	time.Sleep(warmup)
+	measuring.Store(true)
+	time.Sleep(duration)
+	measuring.Store(false)
+	stop.Store(true)
+	wg.Wait()
+	if n := dropped.Load(); n > 0 {
+		// The per-writer sample buffers saturated: percentiles cover only
+		// the window's prefix. Say so instead of biasing silently.
+		fmt.Fprintf(os.Stderr, "ssibench: scanstall tshards=%d mpl=%d: %d commit latencies not sampled (buffers full); percentiles cover the window's start — use a shorter -duration\n", tshards, mpl, n)
+	}
+
+	var all []int64
+	for _, s := range samples {
+		all = append(all, s...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return float64(all[i]) / 1e3 // µs
+	}
+	cell := benchCell{
+		Iso:         iso.String(),
+		MPL:         mpl,
+		Shards:      tshards,
+		TPS:         float64(commits.Load()) / duration.Seconds(),
+		Commits:     commits.Load(),
+		WriterP50Us: pct(0.50),
+		WriterP99Us: pct(0.99),
+		WriterMaxUs: pct(1.0),
+		Scans:       scans.Load(),
+	}
+	if n := scans.Load(); n > 0 {
+		cell.ScanAvgMs = float64(scanTime.Load()) / float64(n) / 1e6
+	}
+	return cell
 }
 
 // waitDelta returns after with its cumulative lock-wait counters rebased to

@@ -56,22 +56,33 @@
 //     different partitions share no latch while page-granularity locking,
 //     split SIREAD inheritance and page-level First-Committer-Wins keep
 //     their per-tree semantics. Ordered scans are a k-way merge over the
-//     per-partition trees under all partition latches (taken in a fixed
-//     order, shared; structural inserts take them all exclusively so
-//     next-key gap inheritance stays atomic with key visibility across
-//     partitions). Version pruning is off the write path entirely:
-//     superseded-version counters trigger chunked vacuum sweeps against the
-//     OldestActiveSnapshot watermark (also reachable as ssidb.DB.Vacuum),
-//     which cut version chains and expire page write-stamps without
-//     stalling readers. The table directory itself is an atomic
-//     copy-on-write map — resolving a table name costs one atomic load.
+//     per-partition trees run as bounded lock-coupled rounds: each round
+//     takes every partition latch shared (ascending — the order structural
+//     inserts take them exclusively), emits up to a chunk of keys, installs
+//     the emitted keys' SIREAD/gap locks while still latched, then releases
+//     everything and re-seeks any iterator whose tree changed before the
+//     next round. A writer waits for at most one round, never for the scan;
+//     phantom detection is preserved because an insert behind the frontier
+//     lands on a gap the scan already locked, and one ahead of it is
+//     emitted by the resumed merge itself (the invariant argument is on
+//     mvcc.Table.ScanWith). Version pruning is off the write path entirely:
+//     superseding writes queue their chains on a bounded per-partition
+//     dirty list, and vacuum sweeps against the OldestActiveSnapshot
+//     watermark (also reachable as ssidb.DB.Vacuum) visit exactly those
+//     chains — work proportional to garbage, with a chunked whole-partition
+//     walk only as the list-overflow fallback, and write-path re-arming
+//     once a pinned watermark advances. The table directory itself is an
+//     atomic copy-on-write map — resolving a table name costs one atomic
+//     load.
 //
 // The scaling benchmarks (scaling_bench_test.go, `ssibench -scaling` for
 // the lock axis, `ssibench -scaling -storage` for the row-store partition
 // axis, `ssibench -scaling -contention` for the hot-key mix that drives the
-// SSI conflict paths) measure commit throughput versus parallelism and
-// shard count, complementing the paper's figures, which measure contention
-// regimes at modest multiprogramming; internal/core's microbenchmarks track
-// the conflict core's per-call cost in isolation, and `ssibench -json`
-// writes every run as a machine-readable BENCH_<name>.json.
+// SSI conflict paths, `ssibench -scaling -scanstall` for full-table scans
+// against point writers with writer commit-latency percentiles) measure
+// commit throughput versus parallelism and shard count, complementing the
+// paper's figures, which measure contention regimes at modest
+// multiprogramming; internal/core's microbenchmarks track the conflict
+// core's per-call cost in isolation, and `ssibench -json` writes every run
+// as a machine-readable BENCH_<name>.json.
 package ssi

@@ -27,6 +27,7 @@ type Tree struct {
 	pageBase  uint32
 	pageLimit uint32 // exclusive upper bound on page numbers; 0 = none
 	size      int
+	mods      uint64 // structural-change counter, see Mods
 
 	// OnSplit, if set, is called whenever a page split moves keys from an
 	// existing page to a newly allocated one. The engine uses it to inherit
@@ -86,6 +87,15 @@ func (t *Tree) newNode(leaf bool) *node {
 
 // Len returns the number of keys stored.
 func (t *Tree) Len() int { return t.size }
+
+// Mods returns the tree's structural-change counter: it advances on every
+// insert (and therefore on every split). An Iter obtained while Mods()
+// returned m remains valid — positioned where it was, observing the same key
+// sequence — for as long as Mods() still returns m, because nothing else
+// mutates node structure. Latch-coupled scans use this to keep iterators
+// across latch drops: re-acquire the latch, compare Mods, and re-seek only
+// if the tree changed in between.
+func (t *Tree) Mods() uint64 { return t.mods }
 
 // findLeaf walks from the root to the leaf that contains (or would contain)
 // key, optionally appending the visited pages to path.
@@ -191,6 +201,7 @@ func (t *Tree) insert(key []byte, val any) {
 		t.root = newRoot
 	}
 	t.size++
+	t.mods++
 }
 
 func (t *Tree) insertInto(n *node, key []byte, val any) (split bool, sepKey []byte, right *node) {
@@ -266,8 +277,12 @@ func (t *Tree) Ascend(from []byte, fn func(key []byte, val any, page uint32) boo
 
 // Iter is a forward iterator over the tree's keys in ascending order. It is
 // positioned on one key (Valid reports whether one remains) and advanced with
-// Next. An Iter is only valid while the tree is unmodified; the merged scans
-// above hold every partition latch for the iterator's whole lifetime.
+// Next. An Iter is only valid while the tree is structurally unmodified
+// (Mods unchanged); a latch-coupled scan that drops the protecting latch must
+// either observe an unchanged Mods on re-acquire or discard the iterator and
+// re-seek with IterAfter from the last key it consumed. Key slices returned
+// by Key stay valid across modifications — key bytes are never rewritten —
+// so the re-seek anchor may be retained without copying.
 type Iter struct {
 	n *node
 	i int
@@ -277,6 +292,21 @@ type Iter struct {
 func (t *Tree) IterFrom(from []byte) Iter {
 	n := t.findLeaf(from, nil)
 	i, _ := keyIndex(n.keys, from)
+	it := Iter{n: n, i: i}
+	it.skipExhausted()
+	return it
+}
+
+// IterAfter returns an iterator positioned at the smallest key strictly
+// greater than after — the re-seek primitive for scans resuming past their
+// last emitted key once the tree may have changed underneath them. It does
+// not allocate.
+func (t *Tree) IterAfter(after []byte) Iter {
+	n := t.findLeaf(after, nil)
+	i, ok := keyIndex(n.keys, after)
+	if ok {
+		i++
+	}
 	it := Iter{n: n, i: i}
 	it.skipExhausted()
 	return it
@@ -313,16 +343,10 @@ func (it *Iter) Next() {
 // next-key gap locking protocol of thesis §3.5: inserts and deletes lock the
 // gap before the successor.
 func (t *Tree) Successor(key []byte) ([]byte, bool) {
-	var out []byte
-	found := false
-	t.Ascend(key, func(k []byte, _ any, _ uint32) bool {
-		if bytes.Compare(k, key) > 0 {
-			out, found = k, true
-			return false
-		}
-		return true
-	})
-	return out, found
+	if it := t.IterAfter(key); it.Valid() {
+		return it.Key(), true
+	}
+	return nil, false
 }
 
 // PageCount returns the number of pages allocated so far (monotonic).

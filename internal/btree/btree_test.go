@@ -275,6 +275,95 @@ func TestIterFrom(t *testing.T) {
 	}
 }
 
+func TestIterAfter(t *testing.T) {
+	tr := New(4)
+	const n = 200
+	for _, i := range rand.New(rand.NewSource(11)).Perm(n) {
+		tr.GetOrInsert(key(i), i)
+	}
+	// Strictly-greater positioning, whether the anchor is present or not.
+	for _, c := range []struct {
+		after []byte
+		want  []byte
+		ok    bool
+	}{
+		{nil, key(0), true},
+		{key(0), key(1), true},
+		{key(57), key(58), true},
+		{[]byte("k000057x"), key(58), true}, // absent anchor between keys
+		{key(n - 2), key(n - 1), true},
+		{key(n - 1), nil, false},
+		{[]byte("zzz"), nil, false},
+	} {
+		it := tr.IterAfter(c.after)
+		if it.Valid() != c.ok {
+			t.Fatalf("IterAfter(%q).Valid() = %v, want %v", c.after, it.Valid(), c.ok)
+		}
+		if c.ok && !bytes.Equal(it.Key(), c.want) {
+			t.Fatalf("IterAfter(%q) at %q, want %q", c.after, it.Key(), c.want)
+		}
+	}
+	// Agrees with Successor everywhere (Successor is defined on it).
+	for i := 0; i < n; i++ {
+		s, ok := tr.Successor(key(i))
+		it := tr.IterAfter(key(i))
+		if ok != it.Valid() || (ok && !bytes.Equal(s, it.Key())) {
+			t.Fatalf("IterAfter/Successor disagree at %d", i)
+		}
+	}
+	if it := New(4).IterAfter(nil); it.Valid() {
+		t.Fatal("IterAfter on empty tree is valid")
+	}
+}
+
+// TestModsAndReseek pins the validity contract latch-coupled scans rely on:
+// Mods is unchanged ⇒ an outstanding iterator keeps working; Mods changed ⇒
+// re-seeking with IterAfter from the last consumed key resumes the correct
+// sequence, including any keys inserted ahead of it.
+func TestModsAndReseek(t *testing.T) {
+	tr := New(3)
+	for i := 0; i < 100; i += 2 {
+		tr.GetOrInsert(key(i), i)
+	}
+	m0 := tr.Mods()
+	it := tr.IterFrom(nil)
+	var got []int
+	for j := 0; j < 10; j++ { // consume a prefix
+		got = append(got, it.Value().(int))
+		it.Next()
+	}
+	if tr.Mods() != m0 {
+		t.Fatal("Mods changed without an insert")
+	}
+	last := key(got[len(got)-1])
+	// Insert behind, at, and ahead of the frontier; Mods must advance.
+	tr.GetOrInsert(key(1), 1)
+	tr.GetOrInsert(key(21), 21)
+	tr.GetOrInsert(key(73), 73)
+	if tr.Mods() == m0 {
+		t.Fatal("Mods did not advance on insert")
+	}
+	// Re-seek past the last consumed key and drain.
+	for it = tr.IterAfter(last); it.Valid(); it.Next() {
+		got = append(got, it.Value().(int))
+	}
+	want := []int{0, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 21}
+	for i := 22; i < 100; i += 2 {
+		want = append(want, i)
+		if i == 72 {
+			want = append(want, 73)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("resumed iteration saw %d keys, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: got %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
 func TestPageBase(t *testing.T) {
 	const base = uint32(3) << 24
 	tr := NewWithPageBase(2, base, base+1<<24)

@@ -20,16 +20,27 @@
 // First-Committer-Wins operate within a partition exactly as they did within
 // the single tree.
 //
-// Ordered scans are a k-way merge over the per-partition trees, performed
-// while holding every partition latch in shared mode (ascending index order;
-// structural inserts take them all exclusively, see Write), which preserves
-// the engine's scan/insert atomicity argument across partitions.
+// Ordered scans are a k-way merge over the per-partition trees, performed in
+// bounded lock-coupled rounds rather than under one table-long latch hold: a
+// round takes every partition latch in shared mode (ascending index order,
+// the same order structural inserts take them exclusively, see Write), emits
+// up to scanChunk keys from the merge frontier, lets the caller install the
+// emitted keys' SIREAD/gap protection while the latches are still held, and
+// only then releases them; the next round re-acquires the latches and
+// re-seeks the iterators of any partition whose tree changed in between
+// (btree.Mods/IterAfter). Writers therefore wait at most one round — the
+// scan-length writer stall the paper never requires (Cahill §3.5 only needs
+// predicate protection atomic with the keys actually visited; PostgreSQL's
+// SSI makes the same point, Ports & Grittner, VLDB 2012). The precise
+// invariant argument is on ScanWith.
 //
-// Version pruning is not done on the write path. Superseded versions are
-// counted per partition and reclaimed by a vacuum sweep driven by the
-// transaction manager's OldestActiveSnapshot watermark: once no active
-// snapshot can read a version, a chunked sweep (bounded latch holds) cuts it
-// out of its chain and expires the partition's page write stamps.
+// Version pruning is not done on the write path. A superseding write marks
+// its chain on the partition's bounded dirty list, and a vacuum sweep driven
+// by the transaction manager's OldestActiveSnapshot watermark visits exactly
+// the dirty chains (falling back to a chunked whole-partition walk only when
+// the list overflowed), cutting versions no snapshot can reach and expiring
+// the partition's page write stamps — work proportional to garbage, not to
+// partition width.
 package mvcc
 
 import (
@@ -62,6 +73,13 @@ func (v *Version) committedAt() core.TS {
 // chain is the version list for one key. Guarded by the owning shard latch.
 type chain struct {
 	head *Version
+	// queued is true exactly while the chain sits on one dirty list — the
+	// shard's live list or a sweep's stolen work list (never both, never
+	// twice): queueDirtyLocked sets it as it appends, sweeps clear it as
+	// they take a chain off a list, and an overflow clears it for every
+	// dropped entry. The strict one-list invariant is what keeps sweep
+	// visit counts (and the dead estimate) proportional to real garbage.
+	queued bool
 }
 
 // ReadResult reports the outcome of a snapshot read of one key.
@@ -124,23 +142,34 @@ type shard struct {
 
 	// dead estimates the partition's superseded (eventually reclaimable)
 	// versions since the last vacuum; crossing sweepGate triggers an async
-	// sweep. sweepGate starts at the table's vacuumEvery and rises to a
-	// quarter of the keys the last sweep visited, so a sweep (which walks
-	// the whole partition) always stands to reclaim a constant fraction of
-	// what it visits — without this, a wide partition of short chains would
-	// re-walk every key for each threshold's worth of garbage.
+	// sweep. sweepGate is the table's vacuumEvery while sweeps run off the
+	// dirty list (proportional to garbage, so there is nothing to amortise)
+	// and rises to a quarter of the keys walked by a full overflow sweep, so
+	// a whole-partition walk always stands to reclaim a constant fraction of
+	// what it visits; the next proportional sweep resets it.
 	dead      atomic.Int64
 	sweepGate atomic.Int64
+	// dirty lists the chains holding superseded versions since the last
+	// sweep, bounded by the table's dirtyCap; overflow drops the list and
+	// sets dirtyOverflow, making the next sweep a full-partition walk (which
+	// rebuilds the list from what stays pinned). Guarded by mu.
+	dirty         []*chain
+	spare         []*chain // recycled backing array for dirty (guarded by mu)
+	dirtyOverflow bool
 	// sweepMu serialises sweeps of this partition (a synchronous Vacuum
 	// parks behind an in-flight async sweep instead of spinning);
 	// vacuuming additionally dedups the async triggers so noteDead never
 	// piles up goroutines.
 	sweepMu   sync.Mutex
 	vacuuming atomic.Bool
-	// stalled is set when a sweep could not reclaim (the watermark is
-	// pinned by an old snapshot); it suppresses write-path re-triggers
-	// until the watermark advances (MaybeVacuum clears it).
-	stalled atomic.Bool
+	// stalledBelow, when non-zero, records that a sweep against watermark
+	// stalledBelow-1 reclaimed nothing (the watermark was pinned by an old
+	// snapshot): write-path re-triggers are suppressed until the watermark
+	// reaches stalledBelow, at which point noteDead re-arms by itself —
+	// a low-garbage partition no longer depends on a later MaybeVacuum
+	// delivery to unpark its dead versions. MaybeVacuum and productive
+	// sweeps clear it.
+	stalledBelow atomic.Uint64
 
 	_ [24]byte // keep neighbouring shard latches off one cache line
 }
@@ -154,11 +183,17 @@ type Table struct {
 	horizon func() core.TS
 
 	vacuumEvery int64
+	dirtyCap    int                           // per-partition dirty-list bound
 	onSplit     func(oldPage, newPage uint32) // engine hook, may be nil
 
-	vacuumRuns     atomic.Uint64
-	versionsPruned atomic.Uint64
-	stampsPruned   atomic.Uint64
+	// scanPool recycles merge state (iterator and heap slices) across scans
+	// of this table, so the merged path allocates nothing per scan.
+	scanPool sync.Pool
+
+	vacuumRuns      atomic.Uint64
+	versionsPruned  atomic.Uint64
+	stampsPruned    atomic.Uint64
+	vacuumKeyVisits atomic.Uint64
 }
 
 // NewTable creates a table partitioned per cfg.
@@ -180,6 +215,10 @@ func NewTable(name string, cfg Config) *Table {
 	if cfg.VacuumEvery > 0 {
 		tb.vacuumEvery = int64(cfg.VacuumEvery)
 	}
+	// The dirty list tracks a few sweeps' worth of garbage before falling
+	// back to a full walk; the clamp keeps tiny test thresholds from
+	// degenerating to always-full sweeps and huge ones from unbounded lists.
+	tb.dirtyCap = int(min(max(4*tb.vacuumEvery, 64), 65536))
 	for i := range tb.shards {
 		base := uint32(i) << pageShardShift
 		limit := base + 1<<pageShardShift
@@ -404,9 +443,10 @@ func (tb *Table) Write(t *core.Txn, key []byte, data []byte, tombstone bool, onI
 	return true, succ, hasSucc
 }
 
-// writeChainLocked pushes (or replaces in place) t's pending version and
-// maintains the partition's superseded-version estimate. Caller holds the
-// shard latch exclusively.
+// writeChainLocked pushes (or replaces in place) t's pending version,
+// maintains the partition's superseded-version estimate and queues the chain
+// on the dirty list for the next vacuum sweep. Caller holds the shard latch
+// exclusively.
 func (tb *Table) writeChainLocked(sh *shard, c *chain, t *core.Txn, data []byte, tombstone bool) {
 	if c.head != nil && c.head.Creator == t {
 		c.head.Data = data
@@ -416,17 +456,56 @@ func (tb *Table) writeChainLocked(sh *shard, c *chain, t *core.Txn, data []byte,
 	superseding := c.head != nil
 	c.head = &Version{Data: data, Creator: t, Tombstone: tombstone, Older: c.head}
 	if superseding {
+		tb.queueDirtyLocked(sh, c)
 		tb.noteDead(sh, 1)
 	}
 }
 
-// noteDead bumps the partition's superseded-version estimate and triggers an
-// asynchronous vacuum sweep when it crosses the gate (unless a previous
-// sweep found the watermark pinned — MaybeVacuum re-arms on advance).
-func (tb *Table) noteDead(sh *shard, n int64) {
-	if sh.dead.Add(n) >= sh.sweepGate.Load() && !sh.stalled.Load() {
-		tb.tryVacuumShard(sh)
+// queueDirtyLocked appends c to the shard's dirty list unless it is already
+// on one, tripping the full-sweep fallback when the list is over the
+// table's bound. Caller holds the shard latch exclusively.
+func (tb *Table) queueDirtyLocked(sh *shard, c *chain) {
+	if c.queued || sh.dirtyOverflow {
+		// Already listed, or a full walk is pending and will rebuild the
+		// list from what it finds.
+		return
 	}
+	if len(sh.dirty) >= tb.dirtyCap {
+		// Overflow: drop the list — the next sweep walks the whole
+		// partition — unmarking the dropped entries so the rebuild can
+		// re-queue them.
+		for _, d := range sh.dirty {
+			d.queued = false
+		}
+		sh.dirty = sh.dirty[:0]
+		sh.dirtyOverflow = true
+		return
+	}
+	c.queued = true
+	sh.dirty = append(sh.dirty, c)
+}
+
+// noteDead bumps the partition's superseded-version estimate and triggers an
+// asynchronous vacuum sweep when it crosses the gate. If an earlier sweep
+// found the watermark pinned (stalledBelow), the re-trigger waits until the
+// watermark has actually advanced past the failed sweep's horizon — and
+// then fires from the write path itself, so parked garbage never depends on
+// a later MaybeVacuum delivery.
+func (tb *Table) noteDead(sh *shard, n int64) {
+	d := sh.dead.Add(n)
+	if d < sh.sweepGate.Load() {
+		return
+	}
+	if sb := sh.stalledBelow.Load(); sb != 0 {
+		// Probe the watermark on every 64th superseding write while parked:
+		// OldestActiveSnapshot is a handful of atomic loads, but this path
+		// runs under the exclusive partition latch on a write-heavy
+		// partition — exactly when the watermark is pinned.
+		if d%64 != 0 || tb.horizon() < sb {
+			return
+		}
+	}
+	tb.tryVacuumShard(sh)
 }
 
 // SetSplitHook installs a callback invoked under the owning partition latch
@@ -460,6 +539,11 @@ type ScanItem struct {
 	ReadResult
 }
 
+// scanChunk bounds how many keys one lock-coupled scan round emits while
+// holding the partition latches, so a long scan stalls a writer for at most
+// one round rather than for its whole duration.
+const scanChunk = 256
+
 // Scan visits keys in [from, ...) in order, calling fn for each until fn
 // returns false. Every key with any chain is visited — including keys whose
 // visible state is "absent" — because the scanner must detect phantom
@@ -471,73 +555,150 @@ func (tb *Table) Scan(t *core.Txn, snap core.TS, from []byte, fn func(ScanItem) 
 	tb.ScanWith(t, snap, from, fn, nil)
 }
 
-// ScanWith is Scan plus an after callback invoked while the partition
-// latches are still held, with exhausted reporting whether the iteration ran
-// off the end of the table. Serializable SI scans use it to take their
-// SIREAD locks (which never block) atomically with the iteration: no insert
-// can slip between reading the range and protecting it, because every
-// insert takes at least its key's partition latch exclusively (gap-protocol
-// inserts take all of them) while the scan holds all partition latches
-// shared.
+// ScanWith is Scan plus a flush callback for installing predicate protection
+// incrementally. The iteration is a k-way merge over the per-partition
+// ordered iterators, performed in bounded lock-coupled rounds:
 //
-// The iteration is a k-way merge over the per-partition ordered iterators,
-// under all partition latches in shared mode (ascending order), so the
-// produced order is the table's total key order regardless of partitioning.
-func (tb *Table) ScanWith(t *core.Txn, snap core.TS, from []byte, fn func(ScanItem) bool, after func(exhausted bool)) {
-	for _, sh := range tb.shards {
-		sh.mu.RLock()
-	}
-	defer func() {
-		for _, sh := range tb.shards {
-			sh.mu.RUnlock()
-		}
-	}()
-	exhausted := true
-	emit := func(key []byte, val any, page uint32) bool {
-		item := ScanItem{Key: key, Page: page, ReadResult: readChain(val.(*chain), t, snap)}
-		if !fn(item) {
-			exhausted = false
-			return false
-		}
-		return true
-	}
-	if len(tb.shards) == 1 {
-		tb.shards[0].tree.Ascend(from, emit)
-	} else {
-		m := newMerge(tb.shards, from)
-		for m.valid() {
+//   - a round acquires every partition latch in shared mode, in ascending
+//     index order (the order lockAll takes them exclusively, so mixed
+//     scan/insert workloads cannot deadlock), re-seeking the iterator of any
+//     partition whose tree changed since the previous round (btree.Mods;
+//     re-seek is IterAfter the last emitted key, so the merge resumes at the
+//     exact global frontier);
+//   - it emits up to scanChunk keys in global key order;
+//   - flush (if non-nil) is invoked while the round's latches are still
+//     held, once per round; serializable SI scans use it to acquire the
+//     SIREAD row/gap (or page) locks for the keys emitted since the previous
+//     flush. exhausted is false until the final flush, which reports whether
+//     the iteration ran off the end of the table (rather than being stopped
+//     by fn);
+//   - the latches are released, writers drain, and the next round begins.
+//
+// The SIREAD-atomicity invariant this preserves — no insert can land between
+// a key being emitted and its SIREAD protection being installed, at any
+// point of the scan:
+//
+//  1. During a round every partition latch is held shared, and every insert
+//     takes at least its key's partition latch exclusively (gap-protocol
+//     structural inserts take all of them), so no key anywhere in the table
+//     becomes visible while a round is emitting.
+//  2. Each round's emitted keys receive their locks in that round's flush,
+//     before the latches drop. So whenever no latch is held, every emitted
+//     key ≤ the frontier F (the last emitted key) is already protected.
+//  3. An insert of key x between rounds therefore falls into two cases.
+//     If x > F, the next round observes the tree change and re-seeks past F,
+//     so the merge emits x itself and the reader marks the rw-conflict from
+//     the invisible newer version (Figure 3.4). If x ≤ F, the inserter's
+//     next-key gap lock lands on succ(x), the smallest key above x — and
+//     succ(x) ≤ F always (F itself is a key greater than x), so succ(x) was
+//     emitted and its gap lock installed by an earlier flush; the inserter's
+//     exclusive acquisition reports the scanner as a rival and the conflict
+//     is marked from the writer side (Figure 3.7).
+//  4. Page granularity replaces gap locks with leaf-page SIREAD coverage:
+//     every leaf that could receive an in-range key is either the descent
+//     leaf of `from` (locked up front via ScanPathPages), the leaf of an
+//     emitted key, or the boundary leaf — all SIREAD-locked by their round's
+//     flush — and page splits inherit that coverage onto the new page under
+//     the partition latch. The engine reads each page's committed writer
+//     stamps only after its flush acquired the page lock, so a concurrent
+//     page writer is either still a lock rival or already stamped.
+func (tb *Table) ScanWith(t *core.Txn, snap core.TS, from []byte, fn func(ScanItem) bool, flush func(exhausted bool)) {
+	m := tb.acquireMerge(from)
+	defer tb.releaseMerge(m)
+	for {
+		m.latchRound()
+		stopped := false
+		for n := 0; n < scanChunk && m.valid(); n++ {
 			it := m.top()
-			if !emit(it.Key(), it.Value(), it.Page()) {
+			item := ScanItem{Key: it.Key(), Page: it.Page(), ReadResult: readChain(it.Value().(*chain), t, snap)}
+			m.last = item.Key
+			if !fn(item) {
+				stopped = true
 				break
 			}
 			m.advance()
 		}
-	}
-	if after != nil {
-		after(exhausted)
-	}
-}
-
-// merge is a binary min-heap of per-partition iterators keyed by their
-// current key; keys are globally unique so no tie-break is needed.
-type merge struct {
-	iters []btree.Iter
-	heap  []int // indices into iters, heap-ordered
-}
-
-func newMerge(shards []*shard, from []byte) *merge {
-	m := &merge{iters: make([]btree.Iter, 0, len(shards)), heap: make([]int, 0, len(shards))}
-	for _, sh := range shards {
-		it := sh.tree.IterFrom(from)
-		if it.Valid() {
-			m.iters = append(m.iters, it)
-			m.heap = append(m.heap, len(m.iters)-1)
+		done := stopped || !m.valid()
+		if flush != nil {
+			flush(done && !stopped)
+		}
+		m.unlatchRound()
+		if done {
+			return
 		}
 	}
+}
+
+// merge is the lock-coupled k-way merge state: one iterator per partition
+// (kept across rounds, re-seeked only when its tree changed) and a binary
+// min-heap of the valid ones keyed by their current key; keys are globally
+// unique so no tie-break is needed. Instances are recycled via the table's
+// scanPool.
+type merge struct {
+	tb      *Table
+	from    []byte
+	last    []byte // last emitted key; the re-seek anchor between rounds
+	iters   []btree.Iter
+	mods    []uint64 // btree.Mods observed when iters[i] was (re)positioned
+	heap    []int    // partition indices, heap-ordered by current key
+	started bool
+}
+
+func (tb *Table) acquireMerge(from []byte) *merge {
+	m, _ := tb.scanPool.Get().(*merge)
+	if m == nil {
+		n := len(tb.shards)
+		m = &merge{iters: make([]btree.Iter, n), mods: make([]uint64, n), heap: make([]int, 0, n)}
+	}
+	m.tb = tb
+	m.from = from
+	m.last = nil
+	m.started = false
+	return m
+}
+
+func (tb *Table) releaseMerge(m *merge) {
+	for i := range m.iters {
+		m.iters[i] = btree.Iter{} // drop node references held across reuse
+	}
+	m.tb, m.from, m.last = nil, nil, nil
+	m.heap = m.heap[:0]
+	tb.scanPool.Put(m)
+}
+
+// latchRound acquires every partition latch shared (ascending), repositions
+// the iterators of partitions whose trees changed since they were last
+// positioned, and rebuilds the heap.
+func (m *merge) latchRound() {
+	shards := m.tb.shards
+	for _, sh := range shards {
+		sh.mu.RLock()
+	}
+	m.heap = m.heap[:0]
+	for i, sh := range shards {
+		mods := sh.tree.Mods()
+		if !m.started || m.mods[i] != mods {
+			if m.last == nil {
+				m.iters[i] = sh.tree.IterFrom(m.from)
+			} else {
+				m.iters[i] = sh.tree.IterAfter(m.last)
+			}
+			m.mods[i] = mods
+		}
+		if m.iters[i].Valid() {
+			m.heap = append(m.heap, i)
+		}
+	}
+	m.started = true
 	for i := len(m.heap)/2 - 1; i >= 0; i-- {
 		m.siftDown(i)
 	}
-	return m
+}
+
+func (m *merge) unlatchRound() {
+	for _, sh := range m.tb.shards {
+		sh.mu.RUnlock()
+	}
 }
 
 func (m *merge) valid() bool { return len(m.heap) > 0 }
@@ -601,12 +762,22 @@ func (tb *Table) PathPages(key []byte) []uint32 {
 
 // ScanPathPages returns the root-to-leaf descent paths for `from` in every
 // partition — a merged scan descends all of them, so page-granularity scans
-// read-lock them all, as Berkeley DB does while descending one tree.
+// read-lock them all, as Berkeley DB does while descending one tree. The
+// latch discipline matches a scan round exactly: every partition latch is
+// held shared together (ascending order, bounded duration), so the returned
+// paths form one atomic cut across partitions — a split cannot land between
+// two partitions' descents within one call. Splits after the call returns
+// are the caller's problem: the engine acquires the paths' page locks and
+// recomputes until a pass finds every page already held.
 func (tb *Table) ScanPathPages(from []byte) []uint32 {
 	out := make([]uint32, 0, 4*len(tb.shards))
 	for _, sh := range tb.shards {
 		sh.mu.RLock()
+	}
+	for _, sh := range tb.shards {
 		out = append(out, sh.tree.PathPages(from)...)
+	}
+	for _, sh := range tb.shards {
 		sh.mu.RUnlock()
 	}
 	return out
@@ -716,9 +887,12 @@ func (tb *Table) Vacuum() VacuumStats {
 // MaybeVacuum re-arms stalled partitions (the watermark advanced) and kicks
 // asynchronous sweeps for partitions whose superseded-version estimate has
 // crossed the threshold. Called from the engine's watermark-advance hook.
+// It is an accelerant, not a correctness requirement: noteDead re-arms a
+// stalled partition by itself once it observes the watermark past the failed
+// sweep's horizon.
 func (tb *Table) MaybeVacuum() {
 	for _, sh := range tb.shards {
-		sh.stalled.Store(false)
+		sh.stalledBelow.Store(0)
 		if sh.dead.Load() >= sh.sweepGate.Load() {
 			tb.tryVacuumShard(sh)
 		}
@@ -745,74 +919,137 @@ func (tb *Table) tryVacuumShard(sh *shard) {
 // committed-before-horizon version itself is kept (it is what the oldest
 // snapshot reads); tombstone markers are kept as chain markers, per the
 // thesis note on reclaiming deleted rows.
+//
+// The sweep is proportional to garbage: it visits exactly the chains the
+// write path queued on the shard's dirty list, unless the list overflowed,
+// in which case it falls back to one chunked whole-partition walk that
+// rebuilds the list from the chains still carrying superseded versions.
 func (tb *Table) vacuumShard(sh *shard) (versions, stampWriters int) {
 	h := tb.horizon()
-	taken := sh.dead.Swap(0)
-	remaining := int64(0)
+	sh.dead.Swap(0)
+	residual := int64(0)
 	keys := int64(0)
-	var resume []byte
-	for {
-		sh.mu.Lock()
-		it := sh.tree.IterFrom(resume)
-		n := 0
-		for ; it.Valid() && n < vacuumChunk; it.Next() {
-			pruned, left := pruneChain(it.Value().(*chain), h)
-			versions += pruned
-			remaining += int64(left)
-			n++
+
+	sh.mu.Lock()
+	full := sh.dirtyOverflow
+	var work []*chain
+	if full {
+		// The list has been empty since the overflow dropped it (marking is
+		// suppressed while the flag is set); the walk below rebuilds it.
+		sh.dirtyOverflow = false
+		for _, d := range sh.dirty {
+			d.queued = false
 		}
-		keys += int64(n)
-		if !it.Valid() {
+		sh.dirty = sh.dirty[:0]
+	} else {
+		work, sh.dirty, sh.spare = sh.dirty, sh.spare[:0], nil
+	}
+	sh.mu.Unlock()
+
+	// sweep prunes one chain and maintains the list bookkeeping: a chain is
+	// done once it is back to a single version; anything longer is
+	// (re-)queued — unless a concurrent writer already did — so the backlog
+	// a pinned watermark leaves behind is revisited by the next sweep
+	// without rescanning the partition, exactly once per sweep.
+	sweep := func(c *chain) {
+		pruned, left := pruneChain(c, h)
+		versions += pruned
+		residual += int64(left)
+		keys++
+		if left > 0 {
+			tb.queueDirtyLocked(sh, c)
+		}
+	}
+
+	if full {
+		var resume []byte
+		for {
+			sh.mu.Lock()
+			it := sh.tree.IterFrom(resume)
+			n := 0
+			for ; it.Valid() && n < vacuumChunk; it.Next() {
+				sweep(it.Value().(*chain))
+				n++
+			}
+			if !it.Valid() {
+				sh.mu.Unlock()
+				break
+			}
+			resume = append(resume[:0], it.Key()...)
 			sh.mu.Unlock()
-			break
 		}
-		resume = append(resume[:0], it.Key()...)
+	} else {
+		for i := 0; i < len(work); {
+			sh.mu.Lock()
+			for end := min(i+vacuumChunk, len(work)); i < end; i++ {
+				c := work[i]
+				work[i] = nil
+				c.queued = false // off the stolen list; sweep may re-queue
+				sweep(c)
+			}
+			sh.mu.Unlock()
+		}
+		sh.mu.Lock()
+		if sh.spare == nil {
+			sh.spare = work[:0]
+		}
 		sh.mu.Unlock()
 	}
-	// Superseded versions the watermark still pins stay counted, so the
-	// next watermark advance re-triggers; if nothing was reclaimable the
-	// partition is stalled until then. The gate rises with the partition
-	// width so the next sweep is worth its walk.
-	sh.dead.Add(remaining)
-	if gate := keys / 4; gate > tb.vacuumEvery {
+
+	// Superseded versions the watermark still pins stay counted (and listed),
+	// so a later trigger revisits them. An unproductive sweep records the
+	// horizon it ran against: noteDead holds re-triggers until the watermark
+	// passes it. The whole-partition gate rises with the walk width only
+	// when the rebuilt list overflowed again — the next sweep would be
+	// another full walk, which must stand to reclaim a constant fraction of
+	// what it visits; if the backlog fits the list, the next sweep is
+	// proportional and the gate resets with nothing to amortise.
+	sh.dead.Add(residual)
+	sh.mu.Lock()
+	reOverflowed := sh.dirtyOverflow
+	sh.mu.Unlock()
+	if gate := keys / 4; full && reOverflowed && gate > tb.vacuumEvery {
 		sh.sweepGate.Store(gate)
+	} else {
+		sh.sweepGate.Store(tb.vacuumEvery)
 	}
-	if versions == 0 && taken+remaining >= sh.sweepGate.Load() {
-		sh.stalled.Store(true)
+	if versions == 0 && residual > 0 {
+		sh.stalledBelow.Store(h + 1)
+	} else if versions > 0 {
+		sh.stalledBelow.Store(0)
 	}
 	stampWriters = sh.stamps.Prune(h)
 	tb.vacuumRuns.Add(1)
+	tb.vacuumKeyVisits.Add(uint64(keys))
 	tb.versionsPruned.Add(uint64(versions))
 	tb.stampsPruned.Add(uint64(stampWriters))
 	return versions, stampWriters
 }
 
 // pruneChain cuts everything older than the newest version committed before
-// horizon, returning how many versions were cut and how many superseded
-// versions remain pinned (committed, shadowed by a newer committed version,
-// but at or above the horizon).
-func pruneChain(c *chain, horizon core.TS) (pruned, pinned int) {
-	committedSeen := false
+// horizon, returning how many versions were cut and how many remain beyond
+// the chain head (the chain's residual: versions some active snapshot may
+// still need, or uncommitted work — either way, potential future garbage
+// that keeps the chain dirty).
+func pruneChain(c *chain, horizon core.TS) (pruned, residual int) {
 	for v := c.head; v != nil; v = v.Older {
-		ct := v.committedAt()
-		if ct == 0 {
-			continue
-		}
-		if ct < horizon {
+		if ct := v.committedAt(); ct != 0 && ct < horizon {
 			// v is the newest pre-horizon committed version: every older
 			// version is unreachable by any current or future snapshot.
 			for o := v.Older; o != nil; o = o.Older {
 				pruned++
 			}
 			v.Older = nil
-			return pruned, pinned
+			break
 		}
-		if committedSeen {
-			pinned++ // superseded, but some active snapshot may still read it
-		}
-		committedSeen = true
 	}
-	return pruned, pinned
+	for v := c.head; v != nil; v = v.Older {
+		residual++
+	}
+	if residual > 0 {
+		residual--
+	}
+	return pruned, residual
 }
 
 // ---------------------------------------------------------------------------
@@ -837,6 +1074,10 @@ type TableStats struct {
 	VacuumRuns         uint64
 	VersionsPruned     uint64
 	StampWritersPruned uint64
+	// VacuumKeyVisits counts the chains vacuum sweeps have walked — the
+	// garbage-proportionality metric: with dirty-list sweeps it tracks the
+	// superseded-version count, not partition width × sweep count.
+	VacuumKeyVisits uint64
 }
 
 // Stats returns a point-in-time census. Partitions are visited one at a
@@ -847,6 +1088,7 @@ func (tb *Table) Stats() TableStats {
 		VacuumRuns:         tb.vacuumRuns.Load(),
 		VersionsPruned:     tb.versionsPruned.Load(),
 		StampWritersPruned: tb.stampsPruned.Load(),
+		VacuumKeyVisits:    tb.vacuumKeyVisits.Load(),
 	}
 	for i, sh := range tb.shards {
 		sh.mu.RLock()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -294,14 +295,16 @@ func TestDeadCounterTriggersVacuum(t *testing.T) {
 
 // TestMergedScanMatchesSingleShardOracle: a partitioned table's ordered scan
 // must produce exactly the sequence a 1-shard table produces for the same
-// data — same keys, same order, same visibility.
+// data — same keys, same order, same visibility. The keyspace is wider than
+// scanChunk so the lock-coupled merge crosses round boundaries (latch drops
+// and iterator revalidation) mid-comparison.
 func TestMergedScanMatchesSingleShardOracle(t *testing.T) {
 	m := core.NewManager(core.DetectorPrecise)
 	sharded := NewTable("t", Config{PageMaxKeys: 4, Shards: 8, Horizon: m.OldestActiveSnapshot})
 	oracle := NewTable("t", Config{PageMaxKeys: 4, Shards: 1, Horizon: m.OldestActiveSnapshot})
 	r := rand.New(rand.NewSource(42))
-	for i := 0; i < 300; i++ {
-		key := []byte(fmt.Sprintf("k%04d", r.Intn(150)))
+	for i := 0; i < 2*3*scanChunk; i++ {
+		key := []byte(fmt.Sprintf("k%04d", r.Intn(3*scanChunk)))
 		val := []byte(fmt.Sprintf("v%d", i))
 		tomb := r.Intn(8) == 0
 		txn := m.Begin(core.SnapshotIsolation)
@@ -335,7 +338,7 @@ func TestMergedScanMatchesSingleShardOracle(t *testing.T) {
 		}
 	}
 	// Cross-partition successor agrees with the oracle everywhere.
-	for i := 0; i < 150; i++ {
+	for i := 0; i < 3*scanChunk; i++ {
 		key := []byte(fmt.Sprintf("k%04d", i))
 		gs, gok := sharded.Successor(key)
 		ws, wok := oracle.Successor(key)
@@ -475,6 +478,277 @@ func TestPageStampsDropAborted(t *testing.T) {
 	ps.Prune(1)
 	if got := ps.NewestCommitTS(3); got != 0 {
 		t.Fatalf("aborted writer left a stamp: %d", got)
+	}
+}
+
+// TestScanWriterProgress is the writer-stall regression test: a long scan
+// with an artificially slow consumer (the callback sleeps, so latch holds
+// are dominated by the scan, exactly the analytic-scan regime) must not
+// stall point writers or structural inserters for its whole duration — the
+// lock-coupled rounds bound any writer's wait to one round. With the old
+// hold-everything scan, every write below waited for the entire scan.
+func TestScanWriterProgress(t *testing.T) {
+	m := core.NewManager(core.DetectorPrecise)
+	tb := NewTable("t", Config{PageMaxKeys: 16, Shards: 4, Horizon: m.OldestActiveSnapshot})
+	const keys = 16 * scanChunk // 16 lock-coupled rounds per full scan
+	put := func(key []byte, val string, structural bool) time.Duration {
+		txn := m.Begin(core.SnapshotIsolation)
+		m.AssignSnapshot(txn)
+		start := time.Now()
+		var onInsert func([]byte, bool)
+		if structural {
+			onInsert = func([]byte, bool) {}
+		}
+		tb.Write(txn, key, []byte(val), false, onInsert)
+		lat := time.Since(start)
+		if _, err := m.CommitPrepare(txn); err != nil {
+			t.Error(err)
+		}
+		m.Finish(txn, false)
+		return lat
+	}
+	for i := 0; i < keys; i++ {
+		put([]byte(fmt.Sprintf("k%05d", i)), "v", false)
+	}
+
+	reader := m.Begin(core.SnapshotIsolation)
+	snap := m.AssignSnapshot(reader)
+	var scanDone atomic.Bool
+	scanned := 0
+	start := time.Now()
+	go func() {
+		defer scanDone.Store(true)
+		tb.Scan(reader, snap, nil, func(it ScanItem) bool {
+			scanned++
+			if scanned%16 == 0 {
+				time.Sleep(time.Millisecond) // throttled consumer
+			}
+			return true
+		})
+	}()
+
+	// Writers are paced latency probes (not throughput hammers, which would
+	// just measure single-core scheduler starvation): in-place updates
+	// (single-partition latch) and structural inserts (all-partition
+	// lockAll) racing the scan on every partition.
+	var wg sync.WaitGroup
+	var maxLat int64 // nanoseconds, atomically maxed
+	var during atomic.Int64
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(g) + 7))
+			for i := 0; !scanDone.Load(); i++ {
+				var lat time.Duration
+				if i%8 == 0 {
+					lat = put([]byte(fmt.Sprintf("n%05d-%d-%d", r.Intn(keys), g, i)), "w", true)
+				} else {
+					lat = put([]byte(fmt.Sprintf("k%05d", r.Intn(keys))), "w", false)
+				}
+				if !scanDone.Load() {
+					during.Add(1)
+				}
+				for {
+					cur := atomic.LoadInt64(&maxLat)
+					if int64(lat) <= cur || atomic.CompareAndSwapInt64(&maxLat, cur, int64(lat)) {
+						break
+					}
+				}
+				time.Sleep(500 * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	scanDur := time.Since(start)
+	if scanned < keys {
+		t.Fatalf("scan visited %d of %d keys", scanned, keys)
+	}
+	// The scan slept ≥ 1ms per 16 keys: it reliably spans many rounds.
+	if min := time.Duration(keys/16) * time.Millisecond; scanDur < min/2 {
+		t.Fatalf("scan finished in %v, expected ≥ %v — throttle broken", scanDur, min/2)
+	}
+	if n := during.Load(); n < 20 {
+		t.Fatalf("only %d writes completed while the scan was in flight — writers stalled for the scan's duration (%v)", n, scanDur)
+	}
+	// A writer waits at most ~one round (1/16th of the scan, ≈ scanChunk/16
+	// sleeps) plus scheduling noise; with the old hold-everything scan the
+	// first blocked writer waited essentially the whole scan.
+	if got := time.Duration(atomic.LoadInt64(&maxLat)); got > scanDur/4 {
+		t.Fatalf("writer stalled %v during a %v scan — not bounded by a round", got, scanDur)
+	}
+	t.Logf("scan %v over %d keys; %d writes in flight; max writer latency %v",
+		scanDur, keys, during.Load(), time.Duration(atomic.LoadInt64(&maxLat)))
+}
+
+// TestVacuumStallRearm is the regression test for the stall re-arm bug: a
+// partition whose sweep fails the reclaim check while the watermark is
+// pinned must resume sweeping from the write path alone once the watermark
+// advances — previously noteDead skipped scheduling while the stalled flag
+// was set, so without a (sampled, best-effort) MaybeVacuum delivery the
+// garbage was parked indefinitely.
+func TestVacuumStallRearm(t *testing.T) {
+	var h atomic.Uint64
+	h.Store(1) // pinned: nothing ever committed before TS 1
+	m := core.NewManager(core.DetectorPrecise)
+	tb := NewTable("t", Config{PageMaxKeys: 8, Shards: 1, Horizon: func() core.TS { return h.Load() }, VacuumEvery: 8})
+	put := func(i int) {
+		txn := m.Begin(core.SnapshotIsolation)
+		m.AssignSnapshot(txn)
+		tb.Write(txn, []byte("hot"), []byte(fmt.Sprintf("v%d", i)), false, nil)
+		if _, err := m.CommitPrepare(txn); err != nil {
+			t.Fatal(err)
+		}
+		m.Finish(txn, false)
+	}
+	// Strand garbage: cross the trigger while the pinned watermark makes
+	// every sweep unproductive.
+	for i := 0; i < 24; i++ {
+		put(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for tb.Stats().VacuumRuns == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no sweep ran at all")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if pruned := tb.Stats().VersionsPruned; pruned != 0 {
+		t.Fatalf("pinned sweep reclaimed %d versions", pruned)
+	}
+
+	// The watermark advances. No MaybeVacuum is ever delivered (no manager
+	// hook is wired here): the write path itself must notice and re-trigger.
+	h.Store(1 << 62)
+	deadline = time.Now().Add(5 * time.Second)
+	for i := 100; tb.Stats().VersionsPruned == 0; i++ {
+		if time.Now().After(deadline) {
+			t.Fatal("stalled partition never re-armed after the watermark advance")
+		}
+		put(i)
+		time.Sleep(time.Millisecond)
+	}
+	if n := f2chainLen(t, tb, "hot"); n > 2 {
+		// A concurrent put may leave one fresh superseded version; the
+		// stranded backlog itself must be gone.
+		t.Fatalf("chain still holds %d versions after re-armed sweep", n)
+	}
+}
+
+func f2chainLen(t *testing.T, tb *Table, key string) int {
+	t.Helper()
+	sh := tb.shardOf([]byte(key))
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	cv, ok := sh.tree.Get([]byte(key))
+	if !ok {
+		return 0
+	}
+	n := 0
+	for v := cv.(*chain).head; v != nil; v = v.Older {
+		n++
+	}
+	return n
+}
+
+// TestVacuumProportionalToGarbage pins the dirty-list property: a sweep of a
+// wide partition with a handful of superseded chains visits only those
+// chains, not the whole partition — and the overflow fallback (full walk)
+// still reclaims everything and restores proportional sweeping afterwards.
+func TestVacuumProportionalToGarbage(t *testing.T) {
+	m := core.NewManager(core.DetectorPrecise)
+	// VacuumEvery high enough that no write-path sweep fires: the test
+	// drives Vacuum synchronously and reads the visit census.
+	tb := NewTable("t", Config{PageMaxKeys: 16, Shards: 1, Horizon: m.OldestActiveSnapshot, VacuumEvery: 1 << 20})
+	put := func(key string) {
+		txn := m.Begin(core.SnapshotIsolation)
+		m.AssignSnapshot(txn)
+		tb.Write(txn, []byte(key), []byte("v"), false, nil)
+		if _, err := m.CommitPrepare(txn); err != nil {
+			t.Fatal(err)
+		}
+		m.Finish(txn, false)
+	}
+	const wide = 10000
+	for i := 0; i < wide; i++ {
+		put(fmt.Sprintf("k%05d", i))
+	}
+	for i := 0; i < 10; i++ {
+		put(fmt.Sprintf("k%05d", i)) // supersede 10 of 10000
+	}
+	tb.Vacuum()
+	st := tb.Stats()
+	if st.VersionsPruned != 10 {
+		t.Fatalf("pruned %d versions, want 10", st.VersionsPruned)
+	}
+	if st.VacuumKeyVisits > 100 {
+		t.Fatalf("sweep visited %d chains for 10 superseded keys — proportional to partition width, not to garbage", st.VacuumKeyVisits)
+	}
+
+	// Overflow: more distinct dirty chains than the list bound forces one
+	// full walk that rebuilds the list.
+	tb2 := NewTable("t2", Config{PageMaxKeys: 16, Shards: 1, Horizon: m.OldestActiveSnapshot, VacuumEvery: 4})
+	// dirtyCap = clamp(4*4, 64, 65536) = 64.
+	if tb2.dirtyCap != 64 {
+		t.Fatalf("dirtyCap = %d, want 64", tb2.dirtyCap)
+	}
+	// Pin the watermark so write-path sweeps cannot drain the list early.
+	pin := m.Begin(core.SnapshotIsolation)
+	m.AssignSnapshot(pin)
+	const keys2 = 300
+	for i := 0; i < keys2; i++ {
+		put2 := fmt.Sprintf("q%05d", i)
+		_ = put2
+		txn := m.Begin(core.SnapshotIsolation)
+		m.AssignSnapshot(txn)
+		tb2.Write(txn, []byte(put2), []byte("v"), false, nil)
+		if _, err := m.CommitPrepare(txn); err != nil {
+			t.Fatal(err)
+		}
+		m.Finish(txn, false)
+	}
+	for i := 0; i < 200; i++ { // 200 distinct dirty chains > 64
+		txn := m.Begin(core.SnapshotIsolation)
+		m.AssignSnapshot(txn)
+		tb2.Write(txn, []byte(fmt.Sprintf("q%05d", i)), []byte("w"), false, nil)
+		if _, err := m.CommitPrepare(txn); err != nil {
+			t.Fatal(err)
+		}
+		m.Finish(txn, false)
+	}
+	sh := tb2.shards[0]
+	sh.mu.RLock()
+	overflowed := sh.dirtyOverflow
+	sh.mu.RUnlock()
+	if !overflowed {
+		t.Fatal("200 dirty chains did not overflow a 64-entry list")
+	}
+	m.Abort(pin)
+	// Wait out any in-flight stalled sweep, then reclaim synchronously.
+	sh.sweepMu.Lock()
+	sh.sweepMu.Unlock()
+	st2 := tb2.Vacuum()
+	if st2.VersionsPruned != 200 {
+		t.Fatalf("overflow walk pruned %d versions, want 200", st2.VersionsPruned)
+	}
+	sh.mu.RLock()
+	overflowed = sh.dirtyOverflow
+	sh.mu.RUnlock()
+	if overflowed {
+		t.Fatal("overflow flag not cleared by the full walk")
+	}
+	// Back to proportional: one more superseded chain, one more visit-ish.
+	before := tb2.Stats().VacuumKeyVisits
+	txn := m.Begin(core.SnapshotIsolation)
+	m.AssignSnapshot(txn)
+	tb2.Write(txn, []byte("q00007"), []byte("x"), false, nil)
+	if _, err := m.CommitPrepare(txn); err != nil {
+		t.Fatal(err)
+	}
+	m.Finish(txn, false)
+	tb2.Vacuum()
+	if visits := tb2.Stats().VacuumKeyVisits - before; visits > 16 {
+		t.Fatalf("post-overflow sweep visited %d chains for 1 superseded key", visits)
 	}
 }
 

@@ -138,11 +138,16 @@ func (c Config) chooser() func(r *rand.Rand) int {
 	}
 }
 
-func key(id int) []byte {
+// Key returns the row key for key-id — exported so external drivers (the
+// ssibench scan-stall scenario, the alloc benchmarks) address the rows
+// kvmix.Load created without duplicating the encoding.
+func Key(id int) []byte {
 	var b [4]byte
 	binary.BigEndian.PutUint32(b[:], uint32(id))
 	return b[:]
 }
+
+func key(id int) []byte { return Key(id) }
 
 // Load populates the table with Keys rows.
 func Load(db *ssidb.DB, cfg Config) error {

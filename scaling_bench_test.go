@@ -215,26 +215,75 @@ func BenchmarkGetAlloc(b *testing.B) {
 	}
 }
 
-// BenchmarkScanAlloc measures a 64-key ordered scan per op — the k-way
-// merged path when tshards > 1.
+// BenchmarkScanAlloc measures ordered scans per op — the k-way merged path
+// when tshards > 1. The 64-key span is the single-round fast path; the
+// 1024-key span crosses multiple lock-coupled rounds (latch drops, iterator
+// revalidation, per-round SIREAD flushes under SSI elsewhere), so it tracks
+// the cost of the handoff protocol itself. Merge state is pooled per table,
+// so neither span should allocate per partition or per round.
 func BenchmarkScanAlloc(b *testing.B) {
 	for _, tshards := range []int{1, 8} {
-		b.Run(fmt.Sprintf("tshards=%d", tshards), func(b *testing.B) {
-			db := ssidb.Open(ssidb.Options{Detector: ssidb.DetectorPrecise, TableShards: tshards})
+		for _, span := range []int{64, 1024} {
+			b.Run(fmt.Sprintf("tshards=%d/span=%d", tshards, span), func(b *testing.B) {
+				db := ssidb.Open(ssidb.Options{Detector: ssidb.DetectorPrecise, TableShards: tshards})
+				cfg := kvmix.DefaultConfig()
+				if err := kvmix.Load(db, cfg); err != nil {
+					b.Fatal(err)
+				}
+				from := kvmix.Key(0x1000)
+				to := kvmix.Key(0x1000 + span)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := db.Run(ssidb.SnapshotIsolation, func(tx *ssidb.Txn) error {
+						return tx.Scan(kvmix.Table, from, to, func(k, v []byte) bool { return true })
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestScanAllocBudget asserts the allocs/op budget for the scan path: the
+// merged multi-shard scan must cost the same as the single-tree scan (the
+// merge heap, iterator slices and per-round state are pooled), and a
+// multi-round scan must not allocate per round. The budget is the item
+// buffer's growth plus the fixed per-transaction records.
+func TestScanAllocBudget(t *testing.T) {
+	for _, c := range []struct {
+		tshards, span int
+		budget        float64
+	}{
+		// 64 items: ~7 growth steps of the items slice + 2 txn records +
+		// closure plumbing. Identical budget for 1 and 8 shards is the
+		// point: the merge itself must be free.
+		{1, 64, 14},
+		{8, 64, 14},
+		// 1024 items cross ≥4 rounds: a few more growth steps, nothing per
+		// round or per partition.
+		{1, 1024, 20},
+		{8, 1024, 20},
+	} {
+		t.Run(fmt.Sprintf("tshards=%d/span=%d", c.tshards, c.span), func(t *testing.T) {
+			db := ssidb.Open(ssidb.Options{Detector: ssidb.DetectorPrecise, TableShards: c.tshards})
 			cfg := kvmix.DefaultConfig()
 			if err := kvmix.Load(db, cfg); err != nil {
-				b.Fatal(err)
+				t.Fatal(err)
 			}
-			from := []byte{0, 0, 0x10, 0}
-			to := []byte{0, 0, 0x10, 64}
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
+			from := kvmix.Key(0x1000)
+			to := kvmix.Key(0x1000 + c.span)
+			scan := func() {
 				if err := db.Run(ssidb.SnapshotIsolation, func(tx *ssidb.Txn) error {
 					return tx.Scan(kvmix.Table, from, to, func(k, v []byte) bool { return true })
 				}); err != nil {
-					b.Fatal(err)
+					t.Fatal(err)
 				}
+			}
+			scan() // warm the pools
+			if got := testing.AllocsPerRun(100, scan); got > c.budget {
+				t.Fatalf("scan of %d keys over %d shards: %.1f allocs/op, budget %.0f", c.span, c.tshards, got, c.budget)
 			}
 		})
 	}

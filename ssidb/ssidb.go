@@ -390,6 +390,10 @@ type TableStats struct {
 	VacuumRuns         uint64
 	VersionsPruned     uint64
 	StampWritersPruned uint64
+	// VacuumKeyVisits counts the chains vacuum sweeps walked — the
+	// garbage-proportionality metric: dirty-list sweeps keep it tracking the
+	// superseded-version count rather than partition width × sweep count.
+	VacuumKeyVisits uint64
 }
 
 // TableStats returns the partition/vacuum census for table name. Unlike the
@@ -408,6 +412,7 @@ func (db *DB) TableStats(name string) TableStats {
 		VacuumRuns:         ts.VacuumRuns,
 		VersionsPruned:     ts.VersionsPruned,
 		StampWritersPruned: ts.StampWritersPruned,
+		VacuumKeyVisits:    ts.VacuumKeyVisits,
 	}
 	for _, sh := range ts.Shards {
 		st.DeadVersions += sh.DeadVersions

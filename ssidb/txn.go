@@ -644,27 +644,66 @@ func (tx *Txn) scanLockLoop(tb *table, snap core.TS, from, to []byte, limit int)
 	}
 }
 
-// scanSSI collects the range and takes its SIREAD row/gap (or page) locks in
-// a single pass *under the table latch* — SIREAD acquisition never blocks,
-// and inserts need the write latch, so the range is protected atomically
-// with being read (no insert can slip between reading and locking). Conflict
-// marking is deferred to after the latch is released, because an unsafe
-// verdict aborts the transaction, which must not happen latched.
+// scanSSI collects the range and takes its SIREAD row/gap (or page) locks
+// incrementally, one lock-coupled round at a time: the store's flush callback
+// runs while the round's partition latches are still held, so every emitted
+// key is protected before any inserter can run — SIREAD acquisition never
+// blocks, and inserts need the write latch, so each round's slice of the
+// range is protected atomically with being read, and inserts between rounds
+// are caught either by the already-installed gap locks (behind the frontier)
+// or by the resumed merge itself (ahead of it); see mvcc.ScanWith for the
+// full invariant. Conflict marking is deferred to after the scan, because an
+// unsafe verdict aborts the transaction, which must not happen latched.
+//
+// In page mode each round acquires its pages' SIREAD locks *before* reading
+// those pages' committed writer stamps: a concurrent page writer either
+// still holds its exclusive page lock (and surfaces as an acquisition rival)
+// or has committed — and therefore stamped the page — before the stamps are
+// read. Reading stamps at queue time instead would miss a writer that locked
+// the page before the flush and committed before it.
 func (tx *Txn) scanSSI(tb *table, snap core.TS, from, to []byte, limit int) (collectResult, error) {
 	pageMode := tx.db.opts.Granularity == GranularityPage
 
 	var res collectResult
 	res.effectiveTo = string(to)
-	writers := tx.rivals[:0]    // rw-conflict targets, marked post-latch
-	lockKeys := tx.lockKeys[:0] // SIREAD set, batch-acquired under the latch
-	pagesQueued := map[uint32]bool{}
+	writers := tx.rivals[:0]    // rw-conflict targets, marked post-scan
+	lockKeys := tx.lockKeys[:0] // the current round's SIREAD set
+	var pagesQueued map[uint32]bool
+	var newPages []uint32 // pages queued since the last flush
 	if pageMode {
 		// The descent paths' interior pages (every partition's, since a
 		// merged scan descends them all), as Berkeley DB read-locks them.
-		for _, pg := range tb.data.ScanPathPages(from) {
-			lockKeys = append(lockKeys, lock.PageKey(tb.name, pg))
-			pagesQueued[pg] = true
+		// Acquire-and-revalidate, like every other page-path lock: the lock
+		// set is complete only once a recomputed path shows no page we do
+		// not already hold, so a split racing the descent cannot move keys
+		// onto a page outside our SIREAD coverage — once a page is held,
+		// later splits inherit the coverage onto the new page.
+		pagesQueued = map[uint32]bool{}
+		for {
+			changed := false
+			for _, pg := range tb.data.ScanPathPages(from) {
+				if pagesQueued[pg] {
+					continue
+				}
+				pagesQueued[pg] = true
+				newPages = append(newPages, pg)
+				changed = true
+				var err error
+				writers, err = tx.db.locks.AcquireInto(tx.t, lock.PageKey(tb.name, pg), lock.SIRead, writers)
+				if err != nil {
+					tx.rivals, tx.lockKeys = writers[:0], lockKeys[:0]
+					return res, err
+				}
+			}
+			if !changed {
+				break
+			}
 		}
+		// Stamps are read only now that the locks are held (see below).
+		for _, pg := range newPages {
+			writers = append(writers, tb.data.PageNewerWriters(pg, snap)...)
+		}
+		newPages = newPages[:0]
 	}
 
 	found := 0
@@ -673,7 +712,7 @@ func (tx *Txn) scanSSI(tb *table, snap core.TS, from, to []byte, limit int) (col
 		if !pagesQueued[pg] {
 			pagesQueued[pg] = true
 			lockKeys = append(lockKeys, lock.PageKey(tb.name, pg))
-			writers = append(writers, tb.data.PageNewerWriters(pg, snap)...)
+			newPages = append(newPages, pg)
 		}
 	}
 	tb.data.ScanWith(tx.t, snap, from, func(it mvcc.ScanItem) bool {
@@ -707,9 +746,15 @@ func (tx *Txn) scanSSI(tb *table, snap core.TS, from, to []byte, limit int) (col
 			// last key too.
 			lockKeys = append(lockKeys, lock.SupremumGapKey(tb.name))
 		}
-		// One lock-table critical section for the whole scan, while the
-		// latch still excludes inserters.
+		// One lock-table critical section per round, while the round's
+		// latches still exclude inserters from the emitted keys.
 		writers = tx.db.locks.AcquireSIReadBatchInto(tx.t, lockKeys, writers)
+		lockKeys = lockKeys[:0]
+		// Lock-then-read-stamps ordering, per the function comment.
+		for _, pg := range newPages {
+			writers = append(writers, tb.data.PageNewerWriters(pg, snap)...)
+		}
+		newPages = newPages[:0]
 	})
 	// Hand the (possibly grown) scratch buffers back for the next operation;
 	// writers is consumed by markAsReader below before any reuse.
