@@ -10,6 +10,7 @@
 //	interleave -set writeskew -iso SSI
 //	interleave -set thesis -iso SSI -detector basic   # §4.7's exact set
 //	interleave -set readonly -iso SI                  # Fekete et al. 2004
+//	interleave -set readonly -iso SSI -ro in          # reader declared RO
 //	interleave -set phantom -iso SSI
 package main
 
@@ -18,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"ssi/internal/interleave"
 	"ssi/internal/sercheck"
@@ -77,6 +79,7 @@ func main() {
 		setName  = flag.String("set", "writeskew", "transaction set: writeskew, thesis, readonly, phantom")
 		isoName  = flag.String("iso", "SSI", "isolation level: SI, SSI or S2PL")
 		detector = flag.String("detector", "precise", "SSI detector: basic or precise")
+		roNames  = flag.String("ro", "", "comma-separated script names to run as declared read-only transactions (e.g. -set readonly -ro in)")
 	)
 	flag.Parse()
 
@@ -84,6 +87,23 @@ func main() {
 	if !ok {
 		fmt.Fprintf(os.Stderr, "interleave: unknown set %q\n", *setName)
 		os.Exit(2)
+	}
+	for _, name := range strings.Split(*roNames, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := false
+		for i := range scripts {
+			if scripts[i].Name == name {
+				scripts[i].ReadOnly = true
+				found = true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "interleave: -ro names unknown script %q in set %q\n", name, *setName)
+			os.Exit(2)
+		}
 	}
 	var iso ssidb.Isolation
 	switch *isoName {

@@ -13,6 +13,7 @@
 //	ssibench -mpl 1,10,50 -csv out.csv
 //	ssibench -scaling                 # shard-count × MPL scaling sweep
 //	ssibench -scaling -contention     # hot-key kvmix: the conflict path
+//	ssibench -scaling -readonly       # read-mostly mix, readers declared RO
 //	ssibench -scaling -json           # also write BENCH_<name>.json
 //
 // The -scaling mode goes beyond the paper: it sweeps the lock-table shard
@@ -62,6 +63,7 @@ func main() {
 		storage    = flag.Bool("storage", false, "with -scaling: sweep the row-store partition count (Options.TableShards) on the read-heavy kvmix mix instead of the lock-table shard count")
 		contention = flag.Bool("contention", false, "with -scaling: use the hot-key kvmix mix (half of all point ops on a 16-key hot set), exercising the conflict and blocking paths")
 		scanStall  = flag.Bool("scanstall", false, "with -scaling: run continuous full-table scans over a 100k-key table against MPL point writers, sweeping Options.TableShards and reporting the writers' commit-latency percentiles alongside throughput — the writer-stall probe for the lock-coupled scan")
+		readOnly   = flag.Bool("readonly", false, "with -scaling: use the read-mostly kvmix mix (90% pure-reader transactions declared read-only), exercising the declared-RO SSI fast path — no out-edge tracking, SIREAD-free reads on safe snapshots")
 		jsonOut    = flag.Bool("json", false, "also write machine-readable results as BENCH_<name>.json")
 	)
 	flag.Parse()
@@ -76,13 +78,13 @@ func main() {
 			}
 		}
 		modes := 0
-		for _, m := range []bool{*storage, *contention, *scanStall} {
+		for _, m := range []bool{*storage, *contention, *scanStall, *readOnly} {
 			if m {
 				modes++
 			}
 		}
 		if modes > 1 {
-			fmt.Fprintf(os.Stderr, "ssibench: -storage, -contention and -scanstall select different scenarios; pick one\n")
+			fmt.Fprintf(os.Stderr, "ssibench: -storage, -contention, -scanstall and -readonly select different scenarios; pick one\n")
 			os.Exit(2)
 		}
 		iso, ok := parseIso(*isoName)
@@ -103,10 +105,10 @@ func main() {
 			runScanStall(*shardList, *mplList, iso, *jsonOut, *duration, *warmup, openCSV(*csvPath))
 			return
 		}
-		runScaling(*shardList, *mplList, iso, *storage, *contention, *waitStats, *jsonOut, *duration, *warmup, *trials, openCSV(*csvPath))
+		runScaling(*shardList, *mplList, iso, *storage, *contention, *readOnly, *waitStats, *jsonOut, *duration, *warmup, *trials, openCSV(*csvPath))
 		return
 	}
-	for _, f := range []string{"shards", "iso", "waitstats", "storage", "contention", "scanstall"} {
+	for _, f := range []string{"shards", "iso", "waitstats", "storage", "contention", "scanstall", "readonly"} {
 		// Symmetric with the check above: these flags only drive -scaling.
 		if flagWasSet(f) {
 			fmt.Fprintf(os.Stderr, "ssibench: -%s requires -scaling\n", f)
@@ -163,6 +165,13 @@ type benchCell struct {
 	LockParks      uint64  `json:"lock_parks,omitempty"`
 	LockWakeups    uint64  `json:"lock_wakeups,omitempty"`
 	LockWaitMs     float64 `json:"lock_wait_ms,omitempty"`
+
+	// Read-only path counters for the measured window (-readonly runs):
+	// declared-RO begins, safe-snapshot promotions and SIREAD acquisitions
+	// skipped by promoted transactions.
+	ROBegins     uint64 `json:"ro_begins,omitempty"`
+	ROPromotions uint64 `json:"ro_promotions,omitempty"`
+	ROSkips      uint64 `json:"ro_siread_skips,omitempty"`
 
 	// Writer-latency percentiles and scan counters (-scanstall runs): the
 	// distribution of point-writer commit latencies while full-table scans
@@ -223,6 +232,9 @@ func cellFromResult(res harness.Result, shards int, st *ssidb.Stats) benchCell {
 		c.LockParks = st.LockParks
 		c.LockWakeups = st.LockWakeups
 		c.LockWaitMs = float64(st.LockWaitTime) / float64(time.Millisecond)
+		c.ROBegins = st.ROBegins
+		c.ROPromotions = st.ROSafePromotions
+		c.ROSkips = st.ROSIReadSkips
 	}
 	return c
 }
@@ -314,7 +326,7 @@ func parseIso(name string) (ssidb.Isolation, bool) {
 // park), targeted wakeups per park, and cumulative parked time — which is
 // the number to watch for S2PL, whose blocking waits are the contended path
 // the spin-then-park redesign exists for.
-func runScaling(shardList, mplList string, iso ssidb.Isolation, storage, hot, waitStats, jsonOut bool, duration, warmup time.Duration, trials int, csv *os.File) {
+func runScaling(shardList, mplList string, iso ssidb.Isolation, storage, hot, readOnly, waitStats, jsonOut bool, duration, warmup time.Duration, trials int, csv *os.File) {
 	shards := parseInts(shardList, "shards")
 	mpls := parseInts(mplList, "mpl")
 	if mpls == nil {
@@ -332,10 +344,14 @@ func runScaling(shardList, mplList string, iso ssidb.Isolation, storage, hot, wa
 		axis = "lock-hot"
 		workload = "kvmix-hot"
 		cfg = kvmix.HotConfig()
+	case readOnly:
+		axis = "lock-readonly"
+		workload = "kvmix-readmostly"
+		cfg = kvmix.ReadMostlyConfig()
 	}
 	if csv != nil {
 		defer csv.Close()
-		fmt.Fprintf(csv, "axis,iso,mpl,shards,tps,ci95,commits,deadlocks,conflicts,unsafe,timeouts,lockwaits,spingrants,parks,wakeups,waitms\n")
+		fmt.Fprintf(csv, "axis,iso,mpl,shards,tps,ci95,commits,deadlocks,conflicts,unsafe,timeouts,lockwaits,spingrants,parks,wakeups,waitms,robegins,ropromotions,roskips\n")
 	}
 
 	switch {
@@ -348,6 +364,11 @@ func runScaling(shardList, mplList string, iso ssidb.Isolation, storage, hot, wa
 		fmt.Println("   commits/s by MPL (rows) and lock shard count (columns);")
 		fmt.Printf("   %.0f%% of point ops hit a %d-key hot set: the conflict path is live.\n",
 			cfg.HotProb*100, cfg.HotKeys)
+	case readOnly:
+		fmt.Printf("== Read-mostly declared-RO sweep (read-mostly kvmix, %s) ==\n", iso)
+		fmt.Println("   commits/s by MPL (rows) and lock shard count (columns);")
+		fmt.Printf("   %.0f%% of transactions are pure readers declared read-only.\n",
+			cfg.ROFrac*100)
 	default:
 		fmt.Printf("== Lock-shard scaling sweep (kvmix, %s) ==\n", iso)
 		fmt.Println("   commits/s by MPL (rows) and lock shard count (columns);")
@@ -399,10 +420,11 @@ func runScaling(shardList, mplList string, iso ssidb.Isolation, storage, hot, wa
 			}
 			fmt.Printf("%14s", cell)
 			if csv != nil {
-				fmt.Fprintf(csv, "%s,%s,%d,%d,%.1f,%.1f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.1f\n",
+				fmt.Fprintf(csv, "%s,%s,%d,%d,%.1f,%.1f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.1f,%d,%d,%d\n",
 					axis, iso, mpl, s, res.TPS, res.TPSCI95, res.Commits, res.Deadlocks, res.Conflicts, res.Unsafe,
 					res.Timeouts, st.LockWaits, st.LockSpinGrants, st.LockParks, st.LockWakeups,
-					float64(st.LockWaitTime)/float64(time.Millisecond))
+					float64(st.LockWaitTime)/float64(time.Millisecond),
+					st.ROBegins, st.ROSafePromotions, st.ROSIReadSkips)
 			}
 			if jsonOut {
 				doc.Cells = append(doc.Cells, cellFromResult(res, s, &st))
@@ -604,6 +626,10 @@ func waitDelta(after, base ssidb.Stats) ssidb.Stats {
 	after.LockWakeups -= base.LockWakeups
 	after.LockTimeouts -= base.LockTimeouts
 	after.LockWaitTime -= base.LockWaitTime
+	after.ROBegins -= base.ROBegins
+	after.ROSafePromotions -= base.ROSafePromotions
+	after.RODeferredWaits -= base.RODeferredWaits
+	after.ROSIReadSkips -= base.ROSIReadSkips
 	return after
 }
 

@@ -74,12 +74,29 @@
 //     once a pinned watermark advances. The table directory itself is an
 //     atomic copy-on-write map — resolving a table name costs one atomic
 //     load.
+//   - Declared read-only transactions (ssidb.BeginReadOnly, RunReadOnly,
+//     TxnOptions) ride the same registry: a transaction that never writes
+//     can never be the outgoing side of a dangerous structure, so the core
+//     skips its out-edge bookkeeping (the writer's incoming edge is kept —
+//     the read-only anomaly's pivot still aborts), shrinks its abort-early
+//     probe to a status check, and commits it by pure timestamp
+//     publication. On top of that, a per-shard read-write watermark plus a
+//     monotone threat horizon (the highest commit timestamp published with
+//     an outgoing edge) decide when a snapshot is safe — no concurrent
+//     read-write transaction can commit an anomaly ahead of it — at which
+//     point the reader drops SIREAD acquisition entirely, point and scan,
+//     and reads at plain-SI cost while staying serializable. A positive
+//     verdict is permanently sound for its holder, so the check is a
+//     handful of atomic loads until the first yes, then a cached boolean;
+//     TxnOptions.Deferrable blocks begin until it holds (PostgreSQL's
+//     DEFERRABLE contract).
 //
 // The scaling benchmarks (scaling_bench_test.go, `ssibench -scaling` for
 // the lock axis, `ssibench -scaling -storage` for the row-store partition
 // axis, `ssibench -scaling -contention` for the hot-key mix that drives the
 // SSI conflict paths, `ssibench -scaling -scanstall` for full-table scans
-// against point writers with writer commit-latency percentiles) measure
+// against point writers with writer commit-latency percentiles, `ssibench
+// -scaling -readonly` for the read-mostly declared-read-only mix) measure
 // commit throughput versus parallelism and shard count, complementing the
 // paper's figures, which measure contention regimes at modest
 // multiprogramming; internal/core's microbenchmarks track the conflict

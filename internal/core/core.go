@@ -76,6 +76,91 @@
 //     would let both counterparts commit between the loads and produce a
 //     "safe" outCT = ∞ / finite-inCT pair no atomic evaluation allows —
 //     see pivotUnsafeLocked.
+//
+// # Declared read-only transactions
+//
+// A transaction begun with BeginTx(iso, readOnly=true) promises never to
+// write, which removes it from one side of the dangerous structure
+// Tin →rw Tpivot →rw Tout (Ports & Grittner, VLDB 2012): an outgoing
+// rw-edge T →rw U means U wrote a newer version of something T read, and a
+// pivot or Tout role requires the transaction to have written — so a
+// read-only transaction can appear only as Tin, never as the pivot or Tout.
+// The invariants above extend to the read-only case as follows:
+//
+//  4. A read-only transaction's in reference is always nil (nothing ever
+//     calls MarkConflict with it as the writer, because it never writes),
+//     and MarkConflict skips installing its out reference: with in ≡ nil
+//     the pivot tests of Figures 3.2/3.10 are vacuously false, so the
+//     reference would only ever be read by those tests and never change a
+//     verdict. Dropping it makes AbortEarly a pure status probe and
+//     CommitPrepare pure commit publication (stampCommitted) for read-only
+//     transactions — no csMu, no re-check — without weakening invariant 1:
+//     the edges that matter, the writer.in installs naming the read-only
+//     reader, are recorded exactly as before, so a pivot endangered by
+//     read-only reads still aborts at *its* commit check (the read-only
+//     anomaly case), and the committed-pivot abort rules in MarkConflict
+//     still fire against the read-only caller.
+//
+// # Safe snapshots
+//
+// A snapshot S is *safe* for read-only use when no dangerous structure
+// Tro →rw W →rw Tout with ct(Tout) < S can ever exist (Ports & Grittner's
+// read-only rule: Tout must commit before the reader's snapshot to close
+// the cycle): a reader on a safe snapshot is never part of an MVSG cycle,
+// so it needs no SIREAD locks and no conflict edges at all. Two
+// observations bound the threats. First, Tro →rw W requires W's newer
+// write to be invisible at S, i.e. W commits after S (or never); and
+// W →rw Tout with ct(Tout) < S requires W's snapshot < ct(Tout) < S — so
+// only read-write transactions with snapshot below S can threaten S.
+// Second, such a pivot's commit necessarily carries its outgoing edge: if
+// ct(Tout) < ct(W), the edge install serialized before W's commit section
+// under csMu (had it serialized after, Tout's commit stamp would postdate
+// W's — invariant 1), so W commits with out != nil. CommitPrepare
+// therefore raises a global threat horizon (threatHi, a CAS-max of commit
+// timestamps) whenever a conflict-tracking read-write transaction commits
+// carrying an outgoing edge — a conservative superset of the dangerous
+// pivots — *before* Finish deregisters the transaction from the registry.
+// SnapshotSafe(S) then holds once
+//
+//	(OldestActiveRWSnapshot() > S  ||  OldestActiveRWSnapshot() ≥ toutHi(S))
+//	&&  threatHi ≤ S
+//
+// where toutHi(S) is the newest read-write commit timestamp below S,
+// captured exactly when S was allocated (both happen under tsMu, so nothing
+// below S can commit afterwards). The watermark is read first: a pivot that
+// already deregistered raised threatHi before deregistering, so the later
+// threatHi load sees it; one still registered keeps the watermark ≤ S and
+// is handled by the second disjunct, the *Tout-window refinement*. An
+// active read-write W with snapshot below S threatens S only through a Tout
+// committed inside (snap(W), S] — and that window's population was fixed
+// the moment S existed. If the watermark (a floor below every active W's
+// snapshot) is at or above toutHi(S), no Tout exists in any active elder's
+// window, and none ever will: the elders are harmless to S forever, even
+// though they are still running. Commits landing after S was allocated
+// cannot block S's verdict — they are above S and outside every window.
+// Without this refinement a safe verdict needs an instant with zero older
+// read-write transactions, which under a sustained stream of short writers
+// almost never occurs.
+//
+// A positive verdict is permanent for the holder: every remaining or
+// future read-write transaction either has a snapshot above S (snapshots
+// are unique clock ticks, and a transaction with snapshot > S cannot hold
+// an outgoing edge to anything that committed before S — its snapshot
+// would have seen the write), or is an already-running elder whose Tout
+// window was verified empty. So no new threat to S can arise — which is
+// what lets a promoted reader stay SIREAD-free for the rest of its life.
+// The *predicate* itself is conservative, not sticky: threatHi records only
+// commit timestamps, so a later harmless pivot (snapshot > S, commit > S)
+// flips SnapshotSafe(S) back to false. Equivalently: for every commit
+// carrying an out-edge (snap, ct) whose partner committed at ctPartner, and
+// every S that ever verified safe, snap < S < ct with ctPartner ≤ S is
+// impossible — the no-false-positive invariant the race test asserts.
+// OldestActiveRWSnapshot mirrors OldestActiveSnapshot — per-shard atomic
+// minima over the registered horizon constraints of non-read-only
+// transactions, capped by the clock read first — and inherits its race
+// argument: a constraint registered after its shard was inspected belongs
+// to a snapshot allocated after the cap was read, hence above the returned
+// horizon.
 package core
 
 import (
@@ -199,6 +284,21 @@ type Txn struct {
 	iso Isolation
 	mgr *Manager
 
+	// readOnly marks a transaction declared read-only at begin. Immutable.
+	// The engine above enforces the declaration (writes are rejected); the
+	// core exploits it: no out-edge is ever installed (package comment,
+	// invariant 4), the commit check degenerates to publication, and the
+	// transaction is excluded from the read-write watermark that decides
+	// snapshot safety.
+	readOnly bool
+
+	// toutHi is the newest read-write commit timestamp at or below this
+	// transaction's snapshot — the newest possible Tout of a dangerous
+	// structure endangering it. Captured exactly (under tsMu) when the
+	// snapshot is assigned; read only by the owning goroutine via
+	// SnapshotSafe.
+	toutHi TS
+
 	beginTS  atomic.Uint64 // snapshot timestamp; 0 until assigned (§4.5 defers it)
 	commitTS atomic.Uint64 // 0 until committed
 	status   atomic.Int32
@@ -237,6 +337,9 @@ func (t *Txn) ID() uint64 { return t.id }
 
 // Isolation returns the level the transaction runs at.
 func (t *Txn) Isolation() Isolation { return t.iso }
+
+// ReadOnly reports whether the transaction was declared read-only at begin.
+func (t *Txn) ReadOnly() bool { return t.readOnly }
 
 // Snapshot returns the transaction's read timestamp, or 0 if no snapshot has
 // been assigned yet (no read has happened).
@@ -295,26 +398,40 @@ type regShard struct {
 	mu      sync.Mutex
 	active  map[*Txn]TS   // horizon constraint per active txn; 0 = unconstrained
 	minSnap atomic.Uint64 // min non-zero constraint, tsInfinity when none
+	minRW   atomic.Uint64 // same, over read-write transactions only
 
 	_ [40]byte // pad so neighbouring shard mutexes don't false-share
 }
 
-// lowerMinLocked folds a new constraint into the shard watermark.
-func (sh *regShard) lowerMinLocked(ts TS) {
+// lowerMinLocked folds a new constraint into the shard watermarks: always
+// into the global pruning minimum, and into the read-write minimum unless
+// the transaction is declared read-only — long reports must not hold back
+// each other's snapshot-safety verdicts.
+func (sh *regShard) lowerMinLocked(t *Txn, ts TS) {
 	if ts < sh.minSnap.Load() {
 		sh.minSnap.Store(ts)
 	}
+	if !t.readOnly && ts < sh.minRW.Load() {
+		sh.minRW.Store(ts)
+	}
 }
 
-// recomputeMinLocked rebuilds the shard watermark after a removal.
+// recomputeMinLocked rebuilds both shard watermarks after a removal.
 func (sh *regShard) recomputeMinLocked() {
-	min := tsInfinity
-	for _, c := range sh.active {
-		if c != 0 && c < min {
+	min, minRW := tsInfinity, tsInfinity
+	for t, c := range sh.active {
+		if c == 0 {
+			continue
+		}
+		if c < min {
 			min = c
+		}
+		if !t.readOnly && c < minRW {
+			minRW = c
 		}
 	}
 	sh.minSnap.Store(min)
+	sh.minRW.Store(minRW)
 }
 
 // Manager owns the global transaction clock, the active and suspended
@@ -349,6 +466,21 @@ type Manager struct {
 	watermarkHook func(TS)
 	lastWM        atomic.Uint64
 	endTicks      atomic.Uint64
+
+	// threatHi is the safe-snapshot threat horizon: the largest commit
+	// timestamp of any conflict-tracking read-write transaction that
+	// committed carrying an outgoing rw-edge (a potential dangerous pivot).
+	// Raised by CAS-max in CommitPrepare before the transaction leaves the
+	// registry; see "Safe snapshots" in the package comment.
+	threatHi atomic.Uint64
+
+	// lastRWCommit is the commit timestamp of the newest committed
+	// read-write transaction — the newest possible Tout of a dangerous
+	// structure. Stored (monotonically: the store happens under tsMu, in
+	// commit order) by stampCommitted for non-read-only transactions only,
+	// so a read-mostly workload of declared readers barely advances it. See
+	// the Tout-window refinement under "Safe snapshots".
+	lastRWCommit atomic.Uint64
 }
 
 // ShardCount is the shared shard-sizing policy for the engine's striped
@@ -418,6 +550,7 @@ func NewManager(d Detector) *Manager {
 	for i := range m.shards {
 		sh := &regShard{active: make(map[*Txn]TS)}
 		sh.minSnap.Store(tsInfinity)
+		sh.minRW.Store(tsInfinity)
 		m.shards[i] = sh
 	}
 	return m
@@ -435,7 +568,16 @@ func (m *Manager) regShardOf(t *Txn) *regShard {
 // transaction whose first statement is an update reads the post-lock state
 // and can never abort under First-Committer-Wins for that statement.
 func (m *Manager) Begin(iso Isolation) *Txn {
-	t := &Txn{id: m.nextID.Add(1), iso: iso, mgr: m}
+	return m.BeginTx(iso, false)
+}
+
+// BeginTx is Begin with the read-only declaration. A read-only transaction
+// never installs an outgoing rw-edge, commits by pure publication, and is
+// excluded from the read-write watermark consulted by SnapshotSafe (package
+// comment, invariant 4 and "Safe snapshots"). The caller — the engine layer
+// — is responsible for actually rejecting writes on it.
+func (m *Manager) BeginTx(iso Isolation, readOnly bool) *Txn {
+	t := &Txn{id: m.nextID.Add(1), iso: iso, mgr: m, readOnly: readOnly}
 	sh := m.regShardOf(t)
 	sh.mu.Lock()
 	sh.active[t] = 0
@@ -463,10 +605,14 @@ func (m *Manager) AssignSnapshot(t *Txn) TS {
 	if _, ok := sh.active[t]; ok {
 		floor := m.clock.Load() + 1
 		sh.active[t] = floor
-		sh.lowerMinLocked(floor)
+		sh.lowerMinLocked(t, floor)
 	}
 	m.tsMu.Lock()
 	ts := m.clock.Add(1)
+	// Inside tsMu the capture is exact: lastRWCommit stores serialize with
+	// this tick, so toutHi is precisely the newest read-write commit below
+	// ts — nothing below ts can commit later.
+	t.toutHi = TS(m.lastRWCommit.Load())
 	m.tsMu.Unlock()
 	t.beginTS.Store(ts)
 	return ts
@@ -479,7 +625,7 @@ func (m *Manager) deregister(t *Txn) {
 	sh.mu.Lock()
 	if c, ok := sh.active[t]; ok {
 		delete(sh.active, t)
-		if c != 0 && c == sh.minSnap.Load() {
+		if c != 0 && (c == sh.minSnap.Load() || (!t.readOnly && c == sh.minRW.Load())) {
 			sh.recomputeMinLocked()
 		}
 	}
@@ -494,6 +640,13 @@ func (m *Manager) stampCommitted(t *Txn) TS {
 	ct := m.clock.Add(1)
 	t.commitTS.Store(ct)
 	t.status.Store(int32(StatusCommitted))
+	if !t.readOnly {
+		// Inside tsMu, so the store order matches commit order and the
+		// value is monotone. Every committed read-write transaction counts
+		// as a potential Tout, regardless of isolation — conservative for
+		// mixed-level workloads.
+		m.lastRWCommit.Store(ct)
+	}
 	m.tsMu.Unlock()
 	return ct
 }
@@ -562,16 +715,25 @@ func (m *Manager) MarkConflict(reader, writer, caller *Txn) error {
 		}
 	}
 
-	// Record the edge on both endpoints.
+	// Record the edge on both endpoints. A declared read-only reader takes
+	// no outgoing record: it writes nothing, so no transaction can read an
+	// old version of its output, and it can never be the pivot of a
+	// dangerous structure (invariant 4). The writer's incoming record is
+	// installed regardless — the writer may yet become a pivot, and the
+	// read-only anomaly aborts at that pivot's commit-time check.
 	switch {
 	case m.detector == DetectorBasic:
-		reader.out.Store(reader)
+		if !reader.readOnly {
+			reader.out.Store(reader)
+		}
 		writer.in.Store(writer)
 	default: // DetectorPrecise
-		if rout := reader.out.Load(); rout == nil {
-			reader.out.Store(writer)
-		} else if rout != writer {
-			reader.out.Store(reader) // several outgoing partners: degrade to flag
+		if !reader.readOnly {
+			if rout := reader.out.Load(); rout == nil {
+				reader.out.Store(writer)
+			} else if rout != writer {
+				reader.out.Store(reader) // several outgoing partners: degrade to flag
+			}
 		}
 		if win := writer.in.Load(); win == nil {
 			writer.in.Store(reader)
@@ -702,7 +864,10 @@ func (m *Manager) AbortEarly(t *Txn) error {
 	case StatusCommitted:
 		return ErrTxnDone
 	}
-	if !t.iso.TracksConflicts() {
+	if !t.iso.TracksConflicts() || t.readOnly {
+		// Read-only transactions never install an outgoing edge, so the
+		// pivot test below is vacuously safe: the probe degenerates to the
+		// status switch above.
 		return nil
 	}
 	if t.in.Load() == nil || t.out.Load() == nil {
@@ -734,7 +899,12 @@ func (m *Manager) CommitPrepare(t *Txn) (TS, error) {
 	case StatusCommitted:
 		return 0, ErrTxnDone
 	}
-	if !t.iso.TracksConflicts() {
+	if !t.iso.TracksConflicts() || t.readOnly {
+		// A read-only transaction has no outgoing edge (invariant 4), so the
+		// dangerous-structure re-check is vacuous and commit is pure
+		// publication — identical in cost to an SI commit. Any incoming
+		// record on a named-counterpart detector stays valid: the partner
+		// reads t's commitTS, published atomically with the status here.
 		return m.stampCommitted(t), nil
 	}
 	// t's own conflict mutex makes the re-check atomic with commit
@@ -750,6 +920,14 @@ func (m *Manager) CommitPrepare(t *Txn) (TS, error) {
 		return 0, ErrUnsafe
 	}
 	ct := m.stampCommitted(t)
+	if t.out.Load() != nil {
+		// A committed transaction carrying an outgoing rw-edge is a
+		// potential T_in→pivot threat to snapshots older than its commit:
+		// raise the safe-snapshot threat horizon before this transaction can
+		// leave the registry (Finish), so SnapshotSafe's watermark-then-
+		// horizon read order never misses it ("Safe snapshots" proof).
+		m.raiseThreat(ct)
+	}
 	if m.detector == DetectorPrecise {
 		// Figure 3.10 lines 9-12: replace references to already-committed
 		// transactions with self-references so a suspended transaction only
@@ -881,6 +1059,78 @@ func (m *Manager) OldestActiveSnapshot() TS {
 		}
 	}
 	return min
+}
+
+// OldestActiveRWSnapshot is OldestActiveSnapshot restricted to read-write
+// transactions: the oldest snapshot any transaction still allowed to write
+// could be reading from. Declared read-only transactions are excluded — they
+// cannot commit new rw-edges into the past, so they never keep a snapshot
+// unsafe. Same clock-cap-before-shard-minima read order, same soundness
+// argument.
+func (m *Manager) OldestActiveRWSnapshot() TS {
+	min := m.clock.Load() + 1
+	for _, sh := range m.shards {
+		if v := sh.minRW.Load(); v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// raiseThreat CAS-maxes the safe-snapshot threat horizon to ct.
+func (m *Manager) raiseThreat(ct TS) {
+	for {
+		old := TS(m.threatHi.Load())
+		if ct <= old || m.threatHi.CompareAndSwap(uint64(old), uint64(ct)) {
+			return
+		}
+	}
+}
+
+// ThreatHorizon returns the largest commit timestamp of any read-write
+// transaction that committed carrying an outgoing rw-edge — the newest
+// potential T_in of a dangerous structure seen so far. Snapshots at or above
+// it are not (yet) known safe; a deferred begin polls it to decide whether
+// its candidate snapshot is doomed or merely waiting.
+func (m *Manager) ThreatHorizon() TS {
+	return TS(m.threatHi.Load())
+}
+
+// SnapshotSafe reports whether t's snapshot s is safe: no read-write
+// transaction that could still commit an rw-edge into s's past remains, and
+// none that already committed one committed after s. A transaction on a safe
+// snapshot needs no SIREAD locks and no conflict tracking — its reads are
+// equivalent to a serial execution at s ("Safe snapshots" in the package
+// comment proves the conditions suffice, and that a positive verdict is
+// permanently sound for the transaction holding s — callers cache the first
+// true and never re-check. The predicate itself may later return false for
+// the same s after an unrelated threatening commit; that denial is
+// conservative, never the reverse).
+//
+// Active read-write transactions older than s do not by themselves make s
+// unsafe: W with snapshot below s threatens s only through a Tout that
+// committed inside (snap(W), s], and that window's population is fixed by
+// the time s exists (every commit at or below s has already happened —
+// t.toutHi, captured under tsMu at snapshot assignment, is exactly the
+// newest of them). So when the watermark is at or above toutHi, every
+// active elder's snapshot is too, no elder's window contains a Tout, and
+// all of them are provably harmless to s forever. This is what lets
+// promotions happen under a sustained stream of short writers, where a
+// zero-active-writer instant almost never occurs.
+//
+// The watermark must be read before the threat horizon: a threatening
+// transaction raises the horizon (CommitPrepare) strictly before it leaves
+// the registry (Finish), so observing it gone from the watermark implies its
+// raise is visible.
+func (m *Manager) SnapshotSafe(t *Txn) bool {
+	s := TS(t.beginTS.Load())
+	if s == 0 {
+		return false
+	}
+	if w := m.OldestActiveRWSnapshot(); w <= s && w < t.toutHi {
+		return false
+	}
+	return m.ThreatHorizon() <= s
 }
 
 // Stats is a point-in-time census of the Manager, used by tests and the

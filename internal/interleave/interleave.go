@@ -30,6 +30,10 @@ type Step func(tx *ssidb.Txn) error
 type Script struct {
 	Name  string
 	Steps []Step
+	// ReadOnly runs the script as a declared read-only transaction
+	// (ssidb.BeginTx with TxnOptions.ReadOnly), enabling the SSI read-only
+	// optimisations. Write steps then fail with ssidb.ErrReadOnly.
+	ReadOnly bool
 }
 
 // Outcome reports one interleaving's execution.
@@ -128,7 +132,7 @@ func Run(db *ssidb.DB, hist *sercheck.History, iso ssidb.Isolation, scripts []Sc
 	workers := make([]*worker, len(scripts))
 	for i, s := range scripts {
 		w := &worker{
-			tx:      db.Begin(iso),
+			tx:      db.BeginTx(iso, ssidb.TxnOptions{ReadOnly: s.ReadOnly}),
 			steps:   s.Steps,
 			done:    make(chan error, 1),
 			release: make(chan int, 1),

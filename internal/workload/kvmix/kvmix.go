@@ -54,6 +54,17 @@ type Config struct {
 	// it overrides HotKeys. The rank→key mapping is identity, so low key
 	// ids are the popular ones.
 	Zipf float64
+
+	// ROFrac, when > 0, makes that fraction of transactions pure readers
+	// (Reads point reads and Scans range scans, no writes) — the shape of
+	// realistic read-mostly traffic. Clamped to [0, 1].
+	ROFrac float64
+	// RODeclared, with ROFrac > 0, runs the reader transactions declared
+	// read-only (ssidb.RunReadOnly), enabling the SSI read-only
+	// optimisations: no out-edge tracking, and SIREAD-free reads once the
+	// snapshot is safe. Undeclared readers measure the baseline cost the
+	// declaration removes.
+	RODeclared bool
 }
 
 // DefaultConfig returns the standard scaling probe: 4 reads and 2 writes
@@ -68,6 +79,15 @@ func DefaultConfig() Config {
 // measures.
 func ReadHeavyConfig() Config {
 	return Config{Keys: 10000, Reads: 12, Writes: 1, Scans: 1, ScanSpan: 16}
+}
+
+// ReadMostlyConfig returns the read-only-optimisation probe: 90% of
+// transactions are pure readers declared read-only, the rest run the
+// standard 4-read 2-write mix. At SerializableSI the declared readers skip
+// out-edge tracking immediately and SIREAD acquisition once their snapshots
+// turn safe, so throughput should close most of the gap to plain SI.
+func ReadMostlyConfig() Config {
+	return Config{Keys: 10000, Reads: 4, Writes: 2, ROFrac: 0.9, RODeclared: true}
 }
 
 // HotConfig returns the conflict-path probe: the standard 4+2 mix with half
@@ -100,6 +120,12 @@ func (c Config) normalized() Config {
 	}
 	if c.HotKeys > 0 && c.HotProb <= 0 {
 		c.HotProb = 0.5
+	}
+	if c.ROFrac < 0 {
+		c.ROFrac = 0
+	}
+	if c.ROFrac > 1 {
+		c.ROFrac = 1
 	}
 	return c
 }
@@ -180,7 +206,10 @@ func Worker(db *ssidb.DB, iso ssidb.Isolation, cfg Config) harness.TxnFunc {
 	cfg = cfg.normalized()
 	choose := cfg.chooser()
 	return func(r *rand.Rand) error {
-		return db.Run(iso, func(tx *ssidb.Txn) error {
+		// A ROFrac draw turns this transaction into a pure reader: the same
+		// read mix, no writes, declared read-only when configured.
+		reader := cfg.ROFrac > 0 && r.Float64() < cfg.ROFrac
+		body := func(tx *ssidb.Txn) error {
 			for i := 0; i < cfg.Reads; i++ {
 				if _, _, err := tx.Get(Table, key(choose(r))); err != nil {
 					return err
@@ -196,12 +225,19 @@ func Worker(db *ssidb.DB, iso ssidb.Isolation, cfg Config) harness.TxnFunc {
 					return err
 				}
 			}
+			if reader {
+				return nil
+			}
 			for i := 0; i < cfg.Writes; i++ {
 				if err := tx.Put(Table, key(choose(r)), []byte("w")); err != nil {
 					return err
 				}
 			}
 			return nil
-		})
+		}
+		if reader && cfg.RODeclared {
+			return db.RunReadOnly(iso, body)
+		}
+		return db.Run(iso, body)
 	}
 }

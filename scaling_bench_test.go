@@ -191,22 +191,38 @@ func BenchmarkScalingTableShards(b *testing.B) {
 // allocs/op part of every run (CI included, no -benchmem needed), so a
 // regression that starts allocating per Get or per scanned key is visible.
 func BenchmarkGetAlloc(b *testing.B) {
-	for _, iso := range []ssidb.Isolation{ssidb.SnapshotIsolation, ssidb.SerializableSI} {
+	for _, c := range []struct {
+		name string
+		iso  ssidb.Isolation
+		ro   bool
+	}{
+		{"SI", ssidb.SnapshotIsolation, false},
+		{"SSI", ssidb.SerializableSI, false},
+		// Declared read-only at SSI: on this quiet database the snapshot is
+		// safe immediately, so the reads run SIREAD-free — the allocs/op
+		// must match plain SI.
+		{"SSI-RO", ssidb.SerializableSI, true},
+	} {
 		for _, tshards := range []int{1, 8} {
-			b.Run(fmt.Sprintf("%s/tshards=%d", iso, tshards), func(b *testing.B) {
+			b.Run(fmt.Sprintf("%s/tshards=%d", c.name, tshards), func(b *testing.B) {
 				db := ssidb.Open(ssidb.Options{Detector: ssidb.DetectorPrecise, TableShards: tshards})
 				cfg := kvmix.DefaultConfig()
 				if err := kvmix.Load(db, cfg); err != nil {
 					b.Fatal(err)
 				}
 				key := []byte{0, 0, 0x12, 0x34}
+				body := func(tx *ssidb.Txn) error {
+					_, _, err := tx.Get(kvmix.Table, key)
+					return err
+				}
+				run := func() error { return db.Run(c.iso, body) }
+				if c.ro {
+					run = func() error { return db.RunReadOnly(c.iso, body) }
+				}
 				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if err := db.Run(iso, func(tx *ssidb.Txn) error {
-						_, _, err := tx.Get(kvmix.Table, key)
-						return err
-					}); err != nil {
+					if err := run(); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -286,5 +302,114 @@ func TestScanAllocBudget(t *testing.T) {
 				t.Fatalf("scan of %d keys over %d shards: %.1f allocs/op, budget %.0f", c.span, c.tshards, got, c.budget)
 			}
 		})
+	}
+}
+
+// TestROGetAllocBudget asserts the headline cost claim for the read-only fast
+// path: on a quiet database — no read-write transactions, no threat on the
+// horizon — a declared read-only Get at Serializable SI allocates exactly what
+// a plain-SI Get does. The safe-snapshot check is pure atomic loads and the
+// SIREAD acquisition is skipped entirely, so nothing extra may show up here.
+func TestROGetAllocBudget(t *testing.T) {
+	for _, tshards := range []int{1, 8} {
+		t.Run(fmt.Sprintf("tshards=%d", tshards), func(t *testing.T) {
+			db := ssidb.Open(ssidb.Options{Detector: ssidb.DetectorPrecise, TableShards: tshards})
+			cfg := kvmix.DefaultConfig()
+			if err := kvmix.Load(db, cfg); err != nil {
+				t.Fatal(err)
+			}
+			key := []byte{0, 0, 0x12, 0x34}
+			body := func(tx *ssidb.Txn) error {
+				_, _, err := tx.Get(kvmix.Table, key)
+				return err
+			}
+			measure := func(name string, run func() error) float64 {
+				if err := run(); err != nil { // warm the txn pools
+					t.Fatal(err)
+				}
+				got := testing.AllocsPerRun(200, func() {
+					if err := run(); err != nil {
+						t.Fatal(err)
+					}
+				})
+				t.Logf("%s: %.1f allocs/op", name, got)
+				return got
+			}
+			si := measure("SI Get", func() error { return db.Run(ssidb.SnapshotIsolation, body) })
+			ro := measure("safe-RO SSI Get", func() error { return db.RunReadOnly(ssidb.SerializableSI, body) })
+			if si > 2 {
+				t.Fatalf("plain-SI Get: %.1f allocs/op, budget 2", si)
+			}
+			if ro > si {
+				t.Fatalf("safe-RO SSI Get: %.1f allocs/op, want ≤ plain-SI %.1f", ro, si)
+			}
+			if st := db.StatsSnapshot(); st.ROSafePromotions == 0 || st.ROSIReadSkips == 0 {
+				t.Fatalf("RO path not exercised: promotions=%d skips=%d", st.ROSafePromotions, st.ROSIReadSkips)
+			}
+		})
+	}
+}
+
+// TestReadOnlyScalingMeasurement prints fixed-duration commits/s over the
+// read-mostly kvmix mix (90%% of transactions pure reads) in three
+// configurations: plain SI, SSI with the readers undeclared, and SSI with the
+// readers declared via RunReadOnly. The declared column is the one the
+// read-only fast path exists for — it should close most of the SSI→SI gap at
+// MPL ≥ 8. Measurement only; runs under SSI_SCALING_MEASURE=1.
+func TestReadOnlyScalingMeasurement(t *testing.T) {
+	if os.Getenv("SSI_SCALING_MEASURE") != "1" {
+		t.Skip("set SSI_SCALING_MEASURE=1 to run the throughput measurement")
+	}
+	undeclared := kvmix.ReadMostlyConfig()
+	undeclared.RODeclared = false
+	for _, c := range []struct {
+		name string
+		iso  ssidb.Isolation
+		cfg  kvmix.Config
+	}{
+		{"si", ssidb.SnapshotIsolation, undeclared},
+		{"ssi-undeclared", ssidb.SerializableSI, undeclared},
+		{"ssi-declared", ssidb.SerializableSI, kvmix.ReadMostlyConfig()},
+	} {
+		for _, workers := range []int{1, 8, 32} {
+			// 16 lock shards so the PR 1 lock-table axis doesn't confound
+			// the read-only comparison (a single shard serializes writers,
+			// stretching their lifetimes and arming every Tout window).
+			db := ssidb.Open(ssidb.Options{Detector: ssidb.DetectorPrecise, LockShards: 16})
+			if err := kvmix.Load(db, c.cfg); err != nil {
+				t.Fatal(err)
+			}
+			fn := kvmix.Worker(db, c.iso, c.cfg)
+			var ops, aborts atomic.Uint64
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					r := rand.New(rand.NewSource(int64(w)*6151 + 1))
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						if err := fn(r); err == nil {
+							ops.Add(1)
+						} else if ssidb.IsAbort(err) {
+							aborts.Add(1)
+						}
+					}
+				}(w)
+			}
+			const d = 2 * time.Second
+			time.Sleep(d)
+			close(stop)
+			wg.Wait()
+			st := db.StatsSnapshot()
+			fmt.Printf("ROSCALING cfg=%s workers=%d commits/s=%.0f aborts/s=%.0f ro_begins=%d promotions=%d skips=%d\n",
+				c.name, workers, float64(ops.Load())/d.Seconds(), float64(aborts.Load())/d.Seconds(),
+				st.ROBegins, st.ROSafePromotions, st.ROSIReadSkips)
+		}
 	}
 }

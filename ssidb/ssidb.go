@@ -92,6 +92,11 @@ var (
 	// ErrKeyExists reports an Insert of a key that is already visibly
 	// present. It does not abort the transaction.
 	ErrKeyExists = errors.New("ssi: key already exists")
+	// ErrReadOnly reports a write attempted on a transaction declared
+	// read-only at begin (BeginReadOnly, or BeginTx with TxnOptions.ReadOnly).
+	// Like ErrKeyExists it is a statement-level error: the transaction is not
+	// aborted and may continue reading and commit.
+	ErrReadOnly = errors.New("ssi: write on read-only transaction")
 )
 
 // IsAbort reports whether err is one of the abort-class errors after which
@@ -192,6 +197,12 @@ type DB struct {
 
 	cleanupBatches atomic.Uint64
 	wmTicks        atomic.Uint64
+
+	// Read-only path instrumentation (see Stats).
+	roBegins        atomic.Uint64
+	roPromotions    atomic.Uint64
+	roDeferredWaits atomic.Uint64
+	roSIReadSkips   atomic.Uint64
 }
 
 // Open creates an empty database with the given options.
@@ -284,11 +295,93 @@ func (db *DB) table(name string) *table {
 // the read snapshot is assigned lazily, after the first statement's locks,
 // so single-statement updates never abort under First-Committer-Wins.
 func (db *DB) Begin(iso Isolation) *Txn {
-	t := db.mgr.Begin(iso)
+	return db.BeginTx(iso, TxnOptions{})
+}
+
+// TxnOptions declares per-transaction properties at begin.
+type TxnOptions struct {
+	// ReadOnly declares that the transaction will not write: Put, Insert,
+	// Delete and GetForUpdate on it return ErrReadOnly. The engine exploits
+	// the declaration on the SerializableSI path — a read-only transaction
+	// can never be the outgoing edge of a dangerous structure, so out-edge
+	// tracking, the operation-time pivot probe and the commit-time re-check
+	// all drop out; and once its snapshot is safe (no concurrent read-write
+	// transaction can still commit a conflicting structure) it stops
+	// acquiring SIREAD locks entirely, reading at plain-SI cost while
+	// remaining serializable.
+	ReadOnly bool
+	// Deferrable, with ReadOnly at SerializableSI, blocks begin until a safe
+	// snapshot is available, so the transaction runs SIREAD-free from its
+	// first read. Like PostgreSQL's SERIALIZABLE READ ONLY DEFERRABLE it may
+	// wait indefinitely under sustained read-write traffic; it never aborts
+	// other transactions to get its snapshot. Ignored unless ReadOnly at a
+	// conflict-tracking level.
+	Deferrable bool
+}
+
+// BeginTx is Begin with explicit transaction options.
+func (db *DB) BeginTx(iso Isolation, opts TxnOptions) *Txn {
+	if opts.ReadOnly {
+		db.roBegins.Add(1)
+		if opts.Deferrable && iso.TracksConflicts() {
+			return db.beginDeferred(iso)
+		}
+	}
+	t := db.mgr.BeginTx(iso, opts.ReadOnly)
 	if r := db.opts.Recorder; r != nil {
 		r.RecBegin(t.ID(), iso.String())
 	}
-	return &Txn{db: db, t: t}
+	return &Txn{db: db, t: t, ro: opts.ReadOnly}
+}
+
+// BeginReadOnly starts a transaction declared read-only at the given
+// isolation level: BeginTx(iso, TxnOptions{ReadOnly: true}).
+func (db *DB) BeginReadOnly(iso Isolation) *Txn {
+	return db.BeginTx(iso, TxnOptions{ReadOnly: true})
+}
+
+// beginDeferred implements the DEFERRABLE contract: acquire a snapshot, and
+// if it is not safe, either keep waiting for the read-write watermark to
+// pass it (no potential pivot has committed above it yet) or — once one
+// has, dooming it forever — discard the probe transaction and retry with a
+// fresh snapshot, which starts above the threat that killed the last one.
+func (db *DB) beginDeferred(iso Isolation) *Txn {
+	waited := false
+	for {
+		t := db.mgr.BeginTx(iso, true)
+		s := db.mgr.AssignSnapshot(t)
+		for {
+			if db.mgr.SnapshotSafe(t) {
+				if r := db.opts.Recorder; r != nil {
+					r.RecBegin(t.ID(), iso.String())
+				}
+				db.roPromotions.Add(1)
+				return &Txn{db: db, t: t, ro: true, roSafe: true}
+			}
+			if db.mgr.ThreatHorizon() > s {
+				break // doomed: a threat committed above s, retry fresh
+			}
+			if !waited {
+				waited = true
+				db.roDeferredWaits.Add(1)
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+		// The probe never ran a statement and was never announced to the
+		// Recorder, so a plain core abort (plus suspended-cleanup handoff)
+		// erases it.
+		db.afterCleanup(db.mgr.Abort(t))
+	}
+}
+
+// RunReadOnly is Run with the transaction declared read-only.
+func (db *DB) RunReadOnly(iso Isolation, fn func(*Txn) error) error {
+	tx := db.BeginReadOnly(iso)
+	if err := fn(tx); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
 }
 
 // Run executes fn inside a transaction at the given isolation level,
@@ -448,6 +541,19 @@ type Stats struct {
 	// DB.TableStats for the per-table breakdown).
 	VacuumRuns     uint64
 	VersionsPruned uint64
+
+	// Read-only path instrumentation, cumulative since Open. ROBegins counts
+	// transactions declared read-only at begin; ROSafePromotions the
+	// read-only SSI transactions that reached a safe snapshot (at begin for
+	// deferred begins, mid-flight otherwise) and dropped SIREAD acquisition;
+	// RODeferredWaits the deferrable begins that actually had to wait;
+	// ROSIReadSkips the SIREAD lock acquisitions avoided by promoted
+	// transactions (one per point read, one per scanned row plus its gap
+	// per scan).
+	ROBegins         uint64
+	ROSafePromotions uint64
+	RODeferredWaits  uint64
+	ROSIReadSkips    uint64
 }
 
 // StatsSnapshot returns current counters.
@@ -462,8 +568,12 @@ func (db *DB) StatsSnapshot() Stats {
 		vpruned += ts.VersionsPruned
 	}
 	return Stats{
-		VacuumRuns:     vruns,
-		VersionsPruned: vpruned,
+		VacuumRuns:       vruns,
+		VersionsPruned:   vpruned,
+		ROBegins:         db.roBegins.Load(),
+		ROSafePromotions: db.roPromotions.Load(),
+		RODeferredWaits:  db.roDeferredWaits.Load(),
+		ROSIReadSkips:    db.roSIReadSkips.Load(),
 		ActiveTxns:     cs.Active,
 		SuspendedTxns:  cs.Suspended,
 		LockedKeys:     ls.Keys,

@@ -28,6 +28,14 @@ type Txn struct {
 	// the next operation reuses it.
 	rivals   []*core.Txn
 	lockKeys []lock.Key
+
+	// ro marks a transaction declared read-only at begin; writes on it fail
+	// with ErrReadOnly. roSafe caches a positive SnapshotSafe verdict — a
+	// verdict is permanently sound for the holder — so once set the SSI
+	// read paths skip SIREAD acquisition and conflict marking for the rest
+	// of the transaction.
+	ro     bool
+	roSafe bool
 }
 
 type writeRec struct {
@@ -43,6 +51,37 @@ func (tx *Txn) Isolation() Isolation { return tx.t.Isolation() }
 
 // Snapshot returns the read timestamp, or 0 if no read has happened yet.
 func (tx *Txn) Snapshot() uint64 { return tx.t.Snapshot() }
+
+// ReadOnly reports whether the transaction was declared read-only at begin.
+func (tx *Txn) ReadOnly() bool { return tx.ro }
+
+// SafeSnapshot reports whether the transaction has been promoted to a safe
+// snapshot (it reads SIREAD-free at plain-SI cost while remaining
+// serializable). Deferred begins start promoted; other declared read-only
+// SerializableSI transactions promote mid-flight when their snapshot turns
+// safe.
+func (tx *Txn) SafeSnapshot() bool { return tx.roSafe }
+
+// roFast reports whether the SSI read paths may skip SIREAD acquisition and
+// conflict marking for this operation: the transaction is declared read-only
+// and its snapshot is safe. The verdict is cached — it is permanently sound
+// for this transaction (no still-running or future read-write transaction
+// can commit a structure into the snapshot's past once none could at
+// promotion time) — so the steady state is one boolean load.
+func (tx *Txn) roFast() bool {
+	if !tx.ro {
+		return false
+	}
+	if tx.roSafe {
+		return true
+	}
+	if tx.db.mgr.SnapshotSafe(tx.t) {
+		tx.roSafe = true
+		tx.db.roPromotions.Add(1)
+		return true
+	}
+	return false
+}
 
 // pre guards every operation: it rejects finished transactions and applies
 // the abort-early optimisation of thesis §3.7.1 (an unsafe pivot aborts at
@@ -191,6 +230,12 @@ func (tx *Txn) Get(tableName string, key []byte) (val []byte, found bool, err er
 	}
 	snap := tx.snapshot()
 	ssi := tx.t.Isolation().TracksConflicts()
+	if ssi && tx.roFast() {
+		// Safe-snapshot read-only fast path: the read is serializable
+		// without SIREAD protection, so it proceeds at plain-SI cost.
+		ssi = false
+		tx.db.roSIReadSkips.Add(1)
+	}
 	if ssi {
 		if err := tx.ssiReadLocks(tb, key); err != nil {
 			return nil, false, tx.fail(err)
@@ -266,6 +311,12 @@ func (tx *Txn) GetForUpdate(tableName string, key []byte) (val []byte, found boo
 	if err := tx.pre(); err != nil {
 		return nil, false, err
 	}
+	if tx.ro {
+		// A locked read takes exclusive locks and participates in
+		// First-Committer-Wins as a writer would; read-only transactions
+		// must use Get.
+		return nil, false, ErrReadOnly
+	}
 	tb := tx.db.table(tableName)
 	if tx.t.Isolation() == S2PL {
 		if err := tx.s2plWriteLock(tb, key, false); err != nil {
@@ -309,6 +360,13 @@ func (tx *Txn) Delete(tableName string, key []byte) error {
 func (tx *Txn) write(tableName string, key, val []byte, tombstone, mustNotExist bool) error {
 	if err := tx.pre(); err != nil {
 		return err
+	}
+	if tx.ro {
+		// Statement-level rejection, like ErrKeyExists: the transaction
+		// stays usable for reads and may still commit. The core relies on
+		// this gate — a declared read-only transaction must never reach the
+		// write-lock or version-install paths.
+		return ErrReadOnly
 	}
 	tb := tx.db.table(tableName)
 	structural := tombstone || mustNotExist || !tb.data.Exists(key)
@@ -636,6 +694,14 @@ type scanResult struct {
 func (tx *Txn) scanLockLoop(tb *table, snap core.TS, from, to []byte, limit int) (collectResult, error) {
 	switch {
 	case tx.t.Isolation().TracksConflicts():
+		if tx.roFast() {
+			// Safe-snapshot read-only fast path: a lock-free snapshot scan,
+			// exactly the plain-SI path. The skips counter accounts one
+			// SIREAD per visited row plus the gap boundary.
+			res := collectRange(tb, tx.t, snap, from, to, limit)
+			tx.db.roSIReadSkips.Add(uint64(len(res.items)) + 1)
+			return res, nil
+		}
 		return tx.scanSSI(tb, snap, from, to, limit)
 	case tx.t.Isolation() == S2PL:
 		return tx.scanS2PL(tb, snap, from, to, limit)
