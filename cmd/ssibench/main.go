@@ -44,6 +44,7 @@ import (
 	"ssi/internal/figures"
 	"ssi/internal/harness"
 	"ssi/internal/workload/kvmix"
+	"ssi/internal/workload/smallbank"
 	"ssi/ssidb"
 )
 
@@ -64,6 +65,9 @@ func main() {
 		contention = flag.Bool("contention", false, "with -scaling: use the hot-key kvmix mix (half of all point ops on a 16-key hot set), exercising the conflict and blocking paths")
 		scanStall  = flag.Bool("scanstall", false, "with -scaling: run continuous full-table scans over a 100k-key table against MPL point writers, sweeping Options.TableShards and reporting the writers' commit-latency percentiles alongside throughput — the writer-stall probe for the lock-coupled scan")
 		readOnly   = flag.Bool("readonly", false, "with -scaling: use the read-mostly kvmix mix (90% pure-reader transactions declared read-only), exercising the declared-RO SSI fast path — no out-edge tracking, SIREAD-free reads on safe snapshots")
+		smallBank  = flag.Bool("smallbank", false, "with -scaling: use the SmallBank benchmark (Alomari et al. 2008, thesis §5.1) instead of kvmix — five mixed read/write transaction programs whose WriteCheck pivot makes plain SI non-serializable")
+		durable    = flag.Bool("durable", false, "with -scaling: commit through a real on-disk WAL (group-commit fsyncs in a per-cell temp directory) instead of in-memory; cells report WAL batch counters")
+		gcDelay    = flag.Duration("gcdelay", 0, "with -durable: group-commit flusher linger (Options.GroupCommitMaxDelay); 0 relies on natural batching while a sync is in flight")
 		jsonOut    = flag.Bool("json", false, "also write machine-readable results as BENCH_<name>.json")
 	)
 	flag.Parse()
@@ -78,13 +82,21 @@ func main() {
 			}
 		}
 		modes := 0
-		for _, m := range []bool{*storage, *contention, *scanStall, *readOnly} {
+		for _, m := range []bool{*storage, *contention, *scanStall, *readOnly, *smallBank} {
 			if m {
 				modes++
 			}
 		}
 		if modes > 1 {
-			fmt.Fprintf(os.Stderr, "ssibench: -storage, -contention, -scanstall and -readonly select different scenarios; pick one\n")
+			fmt.Fprintf(os.Stderr, "ssibench: -storage, -contention, -scanstall, -readonly and -smallbank select different scenarios; pick one\n")
+			os.Exit(2)
+		}
+		if *scanStall && *durable {
+			fmt.Fprintf(os.Stderr, "ssibench: -durable does not apply to -scanstall\n")
+			os.Exit(2)
+		}
+		if flagWasSet("gcdelay") && !*durable {
+			fmt.Fprintf(os.Stderr, "ssibench: -gcdelay requires -durable\n")
 			os.Exit(2)
 		}
 		iso, ok := parseIso(*isoName)
@@ -105,10 +117,16 @@ func main() {
 			runScanStall(*shardList, *mplList, iso, *jsonOut, *duration, *warmup, openCSV(*csvPath))
 			return
 		}
-		runScaling(*shardList, *mplList, iso, *storage, *contention, *readOnly, *waitStats, *jsonOut, *duration, *warmup, *trials, openCSV(*csvPath))
+		runScaling(scalingConfig{
+			shardList: *shardList, mplList: *mplList, iso: iso,
+			storage: *storage, hot: *contention, readOnly: *readOnly, smallBank: *smallBank,
+			durable: *durable, gcDelay: *gcDelay,
+			waitStats: *waitStats, jsonOut: *jsonOut,
+			duration: *duration, warmup: *warmup, trials: *trials, csv: openCSV(*csvPath),
+		})
 		return
 	}
-	for _, f := range []string{"shards", "iso", "waitstats", "storage", "contention", "scanstall", "readonly"} {
+	for _, f := range []string{"shards", "iso", "waitstats", "storage", "contention", "scanstall", "readonly", "smallbank", "durable", "gcdelay"} {
 		// Symmetric with the check above: these flags only drive -scaling.
 		if flagWasSet(f) {
 			fmt.Fprintf(os.Stderr, "ssibench: -%s requires -scaling\n", f)
@@ -173,6 +191,14 @@ type benchCell struct {
 	ROPromotions uint64 `json:"ro_promotions,omitempty"`
 	ROSkips      uint64 `json:"ro_siread_skips,omitempty"`
 
+	// WAL counters for the measured window (-durable runs). AvgBatchSize
+	// above 1 is group commit amortising fsyncs across committers.
+	Durable            bool    `json:"durable,omitempty"`
+	WALAppends         uint64  `json:"wal_appends,omitempty"`
+	GroupCommitBatches uint64  `json:"group_commit_batches,omitempty"`
+	Fsyncs             uint64  `json:"fsyncs,omitempty"`
+	AvgBatchSize       float64 `json:"avg_batch_size,omitempty"`
+
 	// Writer-latency percentiles and scan counters (-scanstall runs): the
 	// distribution of point-writer commit latencies while full-table scans
 	// run continuously.
@@ -235,6 +261,10 @@ func cellFromResult(res harness.Result, shards int, st *ssidb.Stats) benchCell {
 		c.ROBegins = st.ROBegins
 		c.ROPromotions = st.ROSafePromotions
 		c.ROSkips = st.ROSIReadSkips
+		c.WALAppends = st.WALAppends
+		c.GroupCommitBatches = st.GroupCommitBatches
+		c.Fsyncs = st.Fsyncs
+		c.AvgBatchSize = st.AvgBatchSize
 	}
 	return c
 }
@@ -307,72 +337,107 @@ func parseIso(name string) (ssidb.Isolation, bool) {
 	return 0, false
 }
 
-// runScaling sweeps a shard-count axis against MPL on the kvmix workload at
-// the selected isolation level and prints a throughput matrix: rows are MPL,
-// columns are shard counts.
+// scalingConfig carries the -scaling run parameters.
+type scalingConfig struct {
+	shardList, mplList string
+	iso                ssidb.Isolation
+	storage            bool // axis = Options.TableShards (read-heavy kvmix)
+	hot                bool // hot-key kvmix
+	readOnly           bool // read-mostly kvmix, readers declared RO
+	smallBank          bool // SmallBank instead of kvmix
+	durable            bool // real on-disk WAL per cell
+	gcDelay            time.Duration
+	waitStats, jsonOut bool
+	duration, warmup   time.Duration
+	trials             int
+	csv                *os.File
+}
+
+// runScaling sweeps a shard-count axis against MPL at the selected isolation
+// level and prints a throughput matrix: rows are MPL, columns are shard
+// counts.
 //
 // The default axis is the lock-table shard count (shards=1 is the paper's
-// single lock-table latch). With storage it is instead the row store's
-// partition count (Options.TableShards, tshards=1 being the single-tree
-// store) on the read-heavy kvmix mix, whose point reads and merged scans
-// exercise the partitioned B+trees rather than the lock manager. With hot
-// the workload is the hot-key mix (kvmix.HotConfig): half of all point
-// operations land on a 16-key hot set, so transactions overlap constantly
-// and the numbers track the SSI conflict core (or S2PL's blocking) rather
-// than the uncontended engine paths.
+// single lock-table latch) on uniform kvmix. With storage it is instead the
+// row store's partition count (Options.TableShards, tshards=1 being the
+// single-tree store) on the read-heavy kvmix mix, whose point reads and
+// merged scans exercise the partitioned B+trees rather than the lock
+// manager. With hot the workload is the hot-key mix (kvmix.HotConfig): half
+// of all point operations land on a 16-key hot set, so transactions overlap
+// constantly and the numbers track the SSI conflict core (or S2PL's
+// blocking) rather than the uncontended engine paths. With smallBank the
+// workload is SmallBank (thesis §5.1), whose five mixed programs include the
+// WriteCheck pivot that makes plain SI non-serializable.
+//
+// With durable every cell commits through a real segmented WAL in a fresh
+// temp directory — group-commit fsyncs on actual files — and reports the
+// window's WAL counters; comparing a sweep with and without -durable prices
+// durability at each MPL, and AvgBatchSize climbing with MPL is group commit
+// doing the amortising.
 //
 // With waitStats each cell is followed by the lock manager's wait
 // instrumentation — how the blocked acquires resolved (spin grant versus
 // park), targeted wakeups per park, and cumulative parked time — which is
 // the number to watch for S2PL, whose blocking waits are the contended path
 // the spin-then-park redesign exists for.
-func runScaling(shardList, mplList string, iso ssidb.Isolation, storage, hot, readOnly, waitStats, jsonOut bool, duration, warmup time.Duration, trials int, csv *os.File) {
-	shards := parseInts(shardList, "shards")
-	mpls := parseInts(mplList, "mpl")
+func runScaling(c scalingConfig) {
+	shards := parseInts(c.shardList, "shards")
+	mpls := parseInts(c.mplList, "mpl")
 	if mpls == nil {
 		mpls = []int{1, 2, 4, 8, 16, 32, 64}
 	}
 	axis, col := "lock", "shards"
 	workload := "kvmix-uniform"
 	cfg := kvmix.DefaultConfig()
+	sbCfg := smallbank.DefaultConfig()
 	switch {
-	case storage:
+	case c.storage:
 		axis, col = "table", "tshards"
 		workload = "kvmix-readheavy"
 		cfg = kvmix.ReadHeavyConfig()
-	case hot:
+	case c.hot:
 		axis = "lock-hot"
 		workload = "kvmix-hot"
 		cfg = kvmix.HotConfig()
-	case readOnly:
+	case c.readOnly:
 		axis = "lock-readonly"
 		workload = "kvmix-readmostly"
 		cfg = kvmix.ReadMostlyConfig()
+	case c.smallBank:
+		axis = "lock-smallbank"
+		workload = "smallbank"
 	}
-	if csv != nil {
-		defer csv.Close()
-		fmt.Fprintf(csv, "axis,iso,mpl,shards,tps,ci95,commits,deadlocks,conflicts,unsafe,timeouts,lockwaits,spingrants,parks,wakeups,waitms,robegins,ropromotions,roskips\n")
+	if c.csv != nil {
+		defer c.csv.Close()
+		fmt.Fprintf(c.csv, "axis,iso,mpl,shards,durable,tps,ci95,commits,deadlocks,conflicts,unsafe,timeouts,lockwaits,spingrants,parks,wakeups,waitms,robegins,ropromotions,roskips,walappends,gcbatches,fsyncs,avgbatch\n")
 	}
 
 	switch {
-	case storage:
-		fmt.Printf("== Row-store partition scaling sweep (read-heavy kvmix, %s) ==\n", iso)
+	case c.storage:
+		fmt.Printf("== Row-store partition scaling sweep (read-heavy kvmix, %s) ==\n", c.iso)
 		fmt.Println("   commits/s by MPL (rows) and table partition count (columns);")
 		fmt.Println("   tshards=1 is the single-tree single-latch store.")
-	case hot:
-		fmt.Printf("== Hot-key contention sweep (hot kvmix, %s) ==\n", iso)
+	case c.hot:
+		fmt.Printf("== Hot-key contention sweep (hot kvmix, %s) ==\n", c.iso)
 		fmt.Println("   commits/s by MPL (rows) and lock shard count (columns);")
 		fmt.Printf("   %.0f%% of point ops hit a %d-key hot set: the conflict path is live.\n",
 			cfg.HotProb*100, cfg.HotKeys)
-	case readOnly:
-		fmt.Printf("== Read-mostly declared-RO sweep (read-mostly kvmix, %s) ==\n", iso)
+	case c.readOnly:
+		fmt.Printf("== Read-mostly declared-RO sweep (read-mostly kvmix, %s) ==\n", c.iso)
 		fmt.Println("   commits/s by MPL (rows) and lock shard count (columns);")
 		fmt.Printf("   %.0f%% of transactions are pure readers declared read-only.\n",
 			cfg.ROFrac*100)
+	case c.smallBank:
+		fmt.Printf("== SmallBank sweep (%d accounts, %s) ==\n", sbCfg.Accounts, c.iso)
+		fmt.Println("   commits/s by MPL (rows) and lock shard count (columns);")
+		fmt.Println("   five mixed programs incl. the WriteCheck pivot (thesis §5.1).")
 	default:
-		fmt.Printf("== Lock-shard scaling sweep (kvmix, %s) ==\n", iso)
+		fmt.Printf("== Lock-shard scaling sweep (kvmix, %s) ==\n", c.iso)
 		fmt.Println("   commits/s by MPL (rows) and lock shard count (columns);")
 		fmt.Println("   shards=1 is the paper's single lock-table latch.")
+	}
+	if c.durable {
+		fmt.Printf("   durable: real group-commit WAL per cell (linger %v).\n", c.gcDelay)
 	}
 	fmt.Printf("%-6s", "MPL")
 	for _, s := range shards {
@@ -380,58 +445,46 @@ func runScaling(shardList, mplList string, iso ssidb.Isolation, storage, hot, re
 	}
 	fmt.Println()
 
-	opts := harness.Options{Duration: duration, Warmup: warmup, Trials: trials, Seed: 1}
+	opts := harness.Options{Duration: c.duration, Warmup: c.warmup, Trials: c.trials, Seed: 1}
+	name := fmt.Sprintf("scaling-%s-%s", axis, c.iso)
+	if c.durable {
+		name += "-durable"
+	}
 	doc := benchDoc{
 		Kind:     "scaling",
-		Name:     fmt.Sprintf("scaling-%s-%s", axis, iso),
+		Name:     name,
 		Axis:     axis,
 		Workload: workload,
-		Duration: duration.String(),
-		Trials:   trials,
+		Duration: c.duration.String(),
+		Trials:   c.trials,
 	}
 	for _, mpl := range mpls {
 		fmt.Printf("%-6d", mpl)
 		var cellStats []ssidb.Stats
 		for _, s := range shards {
-			dbOpts := ssidb.Options{Detector: ssidb.DetectorPrecise, LockShards: s}
-			if storage {
-				dbOpts = ssidb.Options{Detector: ssidb.DetectorPrecise, TableShards: s}
-			}
-			db := ssidb.Open(dbOpts)
-			if err := kvmix.Load(db, cfg); err != nil {
-				fmt.Fprintf(os.Stderr, "ssibench: %v\n", err)
-				os.Exit(1)
-			}
-			o := opts
-			o.MPL = mpl
-			// Report wait counters for the measured window only — the
-			// cumulative DB counters also cover loading and warmup, which
-			// the tps/commits columns exclude. With -trials > 1 the window
-			// is the last trial's.
-			var base ssidb.Stats
-			o.OnMeasureStart = func() { base = db.StatsSnapshot() }
-			res := harness.Run(kvmix.Worker(db, iso, cfg), o)
-			res.Isolation = iso
-			st := waitDelta(db.StatsSnapshot(), base)
+			res, st := scalingCell(c, cfg, sbCfg, s, mpl, opts)
 			cellStats = append(cellStats, st)
 			cell := fmt.Sprintf("%.0f", res.TPS)
 			if res.TPSCI95 > 0 {
 				cell += fmt.Sprintf("±%.0f", res.TPSCI95)
 			}
 			fmt.Printf("%14s", cell)
-			if csv != nil {
-				fmt.Fprintf(csv, "%s,%s,%d,%d,%.1f,%.1f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.1f,%d,%d,%d\n",
-					axis, iso, mpl, s, res.TPS, res.TPSCI95, res.Commits, res.Deadlocks, res.Conflicts, res.Unsafe,
+			if c.csv != nil {
+				fmt.Fprintf(c.csv, "%s,%s,%d,%d,%t,%.1f,%.1f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.1f,%d,%d,%d,%d,%d,%d,%.2f\n",
+					axis, c.iso, mpl, s, c.durable, res.TPS, res.TPSCI95, res.Commits, res.Deadlocks, res.Conflicts, res.Unsafe,
 					res.Timeouts, st.LockWaits, st.LockSpinGrants, st.LockParks, st.LockWakeups,
 					float64(st.LockWaitTime)/float64(time.Millisecond),
-					st.ROBegins, st.ROSafePromotions, st.ROSIReadSkips)
+					st.ROBegins, st.ROSafePromotions, st.ROSIReadSkips,
+					st.WALAppends, st.GroupCommitBatches, st.Fsyncs, st.AvgBatchSize)
 			}
-			if jsonOut {
-				doc.Cells = append(doc.Cells, cellFromResult(res, s, &st))
+			if c.jsonOut {
+				jc := cellFromResult(res, s, &st)
+				jc.Durable = c.durable
+				doc.Cells = append(doc.Cells, jc)
 			}
 		}
 		fmt.Println()
-		if waitStats {
+		if c.waitStats {
 			for i, s := range shards {
 				st := cellStats[i]
 				fmt.Printf("       shards=%-4d waits=%-8d spin=%-8d parks=%-8d wakeups=%-8d timeouts=%-4d wait=%v\n",
@@ -439,10 +492,72 @@ func runScaling(shardList, mplList string, iso ssidb.Isolation, storage, hot, re
 					st.LockWaitTime.Round(time.Millisecond))
 			}
 		}
+		if c.durable {
+			for i, s := range shards {
+				st := cellStats[i]
+				fmt.Printf("       shards=%-4d appends=%-8d batches=%-8d fsyncs=%-8d avgbatch=%.1f\n",
+					s, st.WALAppends, st.GroupCommitBatches, st.Fsyncs, st.AvgBatchSize)
+			}
+		}
 	}
-	if jsonOut {
+	if c.jsonOut {
 		writeJSON(doc)
 	}
+}
+
+// scalingCell measures one (shard count, MPL) cell: open, load, run, close.
+func scalingCell(c scalingConfig, cfg kvmix.Config, sbCfg smallbank.Config, s, mpl int, opts harness.Options) (harness.Result, ssidb.Stats) {
+	dbOpts := ssidb.Options{Detector: ssidb.DetectorPrecise, LockShards: s}
+	if c.storage {
+		dbOpts = ssidb.Options{Detector: ssidb.DetectorPrecise, TableShards: s}
+	}
+	var db *ssidb.DB
+	if c.durable {
+		// A fresh directory per cell: recovery replay from a previous cell's
+		// log would pollute both the loaded state and the WAL counters.
+		dir, err := os.MkdirTemp("", "ssibench-wal-")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ssibench: %v\n", err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(dir)
+		dbOpts.GroupCommitMaxDelay = c.gcDelay
+		db, err = ssidb.OpenDir(dir, dbOpts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ssibench: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		db = ssidb.Open(dbOpts)
+	}
+	defer db.Close()
+
+	var worker harness.TxnFunc
+	if c.smallBank {
+		if err := smallbank.Load(db, sbCfg); err != nil {
+			fmt.Fprintf(os.Stderr, "ssibench: %v\n", err)
+			os.Exit(1)
+		}
+		worker = smallbank.Worker(db, c.iso, sbCfg)
+	} else {
+		if err := kvmix.Load(db, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "ssibench: %v\n", err)
+			os.Exit(1)
+		}
+		worker = kvmix.Worker(db, c.iso, cfg)
+	}
+
+	o := opts
+	o.MPL = mpl
+	// Report wait and WAL counters for the measured window only — the
+	// cumulative DB counters also cover loading and warmup, which the
+	// tps/commits columns exclude. With -trials > 1 the window is the last
+	// trial's.
+	var base ssidb.Stats
+	o.OnMeasureStart = func() { base = db.StatsSnapshot() }
+	res := harness.Run(worker, o)
+	res.Isolation = c.iso
+	return res, waitDelta(db.StatsSnapshot(), base)
 }
 
 // scanStallKeys is the -scanstall table width: wide enough that one full
@@ -630,6 +745,15 @@ func waitDelta(after, base ssidb.Stats) ssidb.Stats {
 	after.ROSafePromotions -= base.ROSafePromotions
 	after.RODeferredWaits -= base.RODeferredWaits
 	after.ROSIReadSkips -= base.ROSIReadSkips
+	after.WALAppends -= base.WALAppends
+	after.GroupCommitBatches -= base.GroupCommitBatches
+	after.Fsyncs -= base.Fsyncs
+	after.LogFlushes -= base.LogFlushes
+	if after.GroupCommitBatches > 0 {
+		after.AvgBatchSize = float64(after.WALAppends) / float64(after.GroupCommitBatches)
+	} else {
+		after.AvgBatchSize = 0
+	}
 	return after
 }
 

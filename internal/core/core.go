@@ -75,7 +75,12 @@
 //     conservative regardless of outCT. Reading the outgoing side first
 //     would let both counterparts commit between the loads and produce a
 //     "safe" outCT = ∞ / finite-inCT pair no atomic evaluation allows —
-//     see pivotUnsafeLocked.
+//     see pivotUnsafeLocked. An identified outgoing counterpart observed
+//     uncommitted yields a provisional "safe" (it cannot have committed
+//     first); on the commit path stampCommittedRecheck repeats the
+//     comparison under tsMu — where every stamp publishes status and
+//     timestamp — before t's own timestamp is allocated, closing the
+//     window in which Tout commits in between.
 //
 // # Declared read-only transactions
 //
@@ -323,6 +328,13 @@ type Txn struct {
 	// through a lock-table shard mutex or the suspended list, which
 	// establishes the necessary happens-before edge.
 	lockState any
+
+	// commitState is the engine's per-transaction commit-durability slot
+	// (the pending redo record and, after stampCommitted, its LSN). Same
+	// ownership discipline as lockState: written by the owner's goroutine
+	// before CommitPrepare, read by the commit hook on the same goroutine
+	// under tsMu, so it needs no lock of its own.
+	commitState any
 }
 
 // LockState returns the lock manager's per-owner slot (nil until set).
@@ -331,6 +343,13 @@ func (t *Txn) LockState() any { return t.lockState }
 // SetLockState installs the lock manager's per-owner slot. Must be called
 // from the owner's goroutine before the transaction holds any lock.
 func (t *Txn) SetLockState(v any) { t.lockState = v }
+
+// CommitState returns the engine's commit-durability slot (nil until set).
+func (t *Txn) CommitState() any { return t.commitState }
+
+// SetCommitState installs the commit-durability slot. Must be called from
+// the owner's goroutine before CommitPrepare.
+func (t *Txn) SetCommitState(v any) { t.commitState = v }
 
 // ID returns the transaction's unique identifier.
 func (t *Txn) ID() uint64 { return t.id }
@@ -473,6 +492,15 @@ type Manager struct {
 	// Raised by CAS-max in CommitPrepare before the transaction leaves the
 	// registry; see "Safe snapshots" in the package comment.
 	threatHi atomic.Uint64
+
+	// commitHook, when set, is invoked inside stampCommitted while tsMu is
+	// held, immediately after the commit timestamp is published. The engine
+	// uses it to append the transaction's redo record to the write-ahead
+	// log: because the call happens under the commit-serialization mutex,
+	// log order equals commit order and recovery is a straight
+	// roll-forward. The hook must not block on I/O (the WAL append only
+	// buffers; the fsync wait happens after tsMu is released).
+	commitHook func(t *Txn, ct TS)
 
 	// lastRWCommit is the commit timestamp of the newest committed
 	// read-write transaction — the newest possible Tout of a dangerous
@@ -647,13 +675,79 @@ func (m *Manager) stampCommitted(t *Txn) TS {
 		// mixed-level workloads.
 		m.lastRWCommit.Store(ct)
 	}
+	if m.commitHook != nil {
+		m.commitHook(t, ct)
+	}
 	m.tsMu.Unlock()
 	return ct
+}
+
+// stampCommittedRecheck is stampCommitted with the Figure 3.10 comparison
+// revalidated under tsMu before the stamp. pivotUnsafeLocked declares an
+// identified but still-uncommitted Tout safe; that partner may commit in
+// the window between the csMu check and t's stamp with a timestamp below
+// t's. Every stamp publishes status and commitTS inside tsMu, so under tsMu
+// the partners' states form a consistent snapshot: a partner uncommitted
+// here is guaranteed a commit timestamp after t's and the provisional
+// verdict becomes final. Returns ok=false (no stamp taken) if the raced
+// structure turned dangerous; the caller aborts t exactly as if
+// pivotUnsafeLocked had said so. The caller holds t's csMu.
+func (m *Manager) stampCommittedRecheck(t *Txn) (TS, bool) {
+	m.tsMu.Lock()
+	if m.detector == DetectorPrecise {
+		in, out := t.in.Load(), t.out.Load()
+		if in != nil && out != nil &&
+			!(in != t && in.Aborted()) && !(out != t && out.Aborted()) {
+			inCT := tsInfinity
+			if in != t {
+				inCT = commitTime(in)
+			}
+			outCT := TS(0)
+			if out != t {
+				outCT = commitTime(out)
+			}
+			if outCT != tsInfinity && outCT <= inCT {
+				m.tsMu.Unlock()
+				return 0, false
+			}
+		}
+	}
+	ct := m.clock.Add(1)
+	t.commitTS.Store(ct)
+	t.status.Store(int32(StatusCommitted))
+	if !t.readOnly {
+		m.lastRWCommit.Store(ct)
+	}
+	if m.commitHook != nil {
+		m.commitHook(t, ct)
+	}
+	m.tsMu.Unlock()
+	return ct, true
 }
 
 // Now returns the current clock value (the timestamp most recently issued).
 func (m *Manager) Now() TS {
 	return m.clock.Load()
+}
+
+// SetCommitHook installs fn to run inside the commit-serialization point
+// (under tsMu, after the commit timestamp is published). Must be called
+// before any transaction commits; fn must be fast and must not block on I/O.
+func (m *Manager) SetCommitHook(fn func(t *Txn, ct TS)) {
+	m.commitHook = fn
+}
+
+// AdvanceClock raises the clock to at least ts. Recovery uses it so that
+// timestamps issued after a restart are strictly greater than every
+// timestamp in the replayed log — preserving both snapshot visibility of
+// recovered state and the WAL's monotone-timestamp invariant.
+func (m *Manager) AdvanceClock(ts TS) {
+	for {
+		cur := m.clock.Load()
+		if cur >= uint64(ts) || m.clock.CompareAndSwap(cur, uint64(ts)) {
+			return
+		}
+	}
 }
 
 // MarkConflict records an rw-antidependency from reader to writer: reader
@@ -825,17 +919,31 @@ func (m *Manager) pivotUnsafeLocked(t *Txn) bool {
 	// A self-reference on the incoming side is likewise conservative
 	// (latest possible).
 	//
+	// An *identified* outgoing partner that has not committed is safe: in
+	// every non-serializable SI execution the pivot's Tout commits first
+	// (Fekete et al.), and a still-active Tout will take a commit timestamp
+	// after t's. Declaring it safe rather than "∞ ≤ ∞ ⇒ unsafe" is what
+	// preserves the progress guarantee — an abort always implicates a
+	// committed transaction, so a group of active transactions cannot abort
+	// each other forever with none committing (hot-key livelock). The
+	// verdict is provisional on the commit path: the partner may commit in
+	// the window before t's own stamp, so stampCommittedRecheck repeats the
+	// comparison under tsMu, where status and commit timestamp are
+	// published atomically and the race closes. On the abort-early path no
+	// stamp follows and t's eventual CommitPrepare re-checks, so the
+	// provisional verdict needs no revalidation there.
+	//
 	// The incoming side MUST be read before the outgoing side. Neither
 	// counterpart's commit is blocked by t's csMu, so the two loads are not
 	// an atomic snapshot; what makes the pair sound is that a finite
 	// commitTS is immutable while "uncommitted" is not. Reading in first,
 	// every observable pair is consistent with an atomic evaluation at the
-	// instant of the out load: a finite inCT is still exact then, and
-	// inCT = ∞ makes the verdict unsafe regardless of out (conservative).
-	// Read in the other order, both counterparts committing between the
-	// loads (out first) yields outCT = ∞ against a finite inCT — a "safe"
-	// verdict no atomic evaluation would produce, and a dangerous
-	// structure slips through (package comment, invariant 3).
+	// instant of the out load: a finite inCT is still exact then, and an
+	// out that commits just after being read uncommitted is caught by the
+	// tsMu recheck. Read in the other order, both counterparts committing
+	// between the loads (out first) yields outCT = ∞ against a finite
+	// inCT — a "safe" verdict no atomic evaluation would produce, and a
+	// dangerous structure slips through (package comment, invariant 3).
 	inCT := tsInfinity
 	if in != t {
 		inCT = commitTime(in)
@@ -843,6 +951,9 @@ func (m *Manager) pivotUnsafeLocked(t *Txn) bool {
 	outCT := TS(0)
 	if out != t {
 		outCT = commitTime(out)
+		if outCT == tsInfinity {
+			return false // identified Tout still active: cannot have committed first
+		}
 	}
 	return outCT <= inCT
 }
@@ -919,7 +1030,12 @@ func (m *Manager) CommitPrepare(t *Txn) (TS, error) {
 		m.deregister(t)
 		return 0, ErrUnsafe
 	}
-	ct := m.stampCommitted(t)
+	ct, ok := m.stampCommittedRecheck(t)
+	if !ok {
+		t.status.Store(int32(StatusAborted))
+		m.deregister(t)
+		return 0, ErrUnsafe
+	}
 	if t.out.Load() != nil {
 		// A committed transaction carrying an outgoing rw-edge is a
 		// potential T_in→pivot threat to snapshots older than its commit:

@@ -176,17 +176,18 @@ func TestMarkConflictCommitRace(t *testing.T) {
 	}
 }
 
-// TestCounterpartCommitRace pins the load-ordering invariant of the
+// TestCounterpartCommitRace pins the commit-ordering invariant of the
 // Figure 3.10 commit-time check (package comment, invariant 3): with the
 // full structure tin -rw-> pivot -rw-> tout already installed and all three
 // transactions still active, the pivot's CommitPrepare races both
-// counterparts' commits, tout first. Every atomic evaluation of the check
-// yields unsafe here — tout uncommitted at the check means both sides are
-// uncommitted (∞ ≤ ∞), and tout committed means commit(tout) < commit(tin)
-// since tout commits first — so the pivot must abort in every interleaving.
-// Reading the outgoing timestamp before the incoming one opens a window
-// (both counterparts commit between the loads) where the pivot commits and
-// the dangerous structure is admitted; this test exists to catch that.
+// counterparts' commits, tout first. An identified Tout that is still
+// uncommitted cannot have committed first, so the pivot is allowed to
+// commit — but only by winning the stamp race: if tout's timestamp is
+// below the pivot's, the structure has Tout-committed-first and the pivot
+// must have aborted. The dangerous interleaving is tout committing in the
+// window between the pivot's csMu check and its stamp; the tsMu recheck in
+// stampCommittedRecheck exists to close exactly that window, and this test
+// exists to catch it reopening.
 func TestCounterpartCommitRace(t *testing.T) {
 	iters := 5000
 	if testing.Short() {
@@ -207,19 +208,21 @@ func TestCounterpartCommitRace(t *testing.T) {
 			t.Fatal(err)
 		}
 
+		var pivotCT, toutCT TS
 		var commitErr error
 		var wg sync.WaitGroup
 		wg.Add(2)
 		go func() {
 			defer wg.Done()
-			_, commitErr = m.CommitPrepare(pivot)
+			pivotCT, commitErr = m.CommitPrepare(pivot)
 		}()
 		go func() {
 			defer wg.Done()
-			// tout first, then tin: if both commit, commit(tout) is the
-			// smaller timestamp, which is what makes the structure
+			// tout first, then tin: if tout's stamp beats the pivot's,
+			// commit(tout) is the smaller timestamp and the structure is
 			// unconditionally dangerous for the pivot.
-			if _, err := m.CommitPrepare(tout); err == nil {
+			var err error
+			if toutCT, err = m.CommitPrepare(tout); err == nil {
 				m.Finish(tout, true)
 			} else {
 				m.Abort(tout)
@@ -233,8 +236,12 @@ func TestCounterpartCommitRace(t *testing.T) {
 		wg.Wait()
 
 		if commitErr == nil {
-			t.Fatalf("iter %d: pivot committed inside a dangerous structure whose Tout committed first", i)
+			if toutCT != 0 && toutCT < pivotCT {
+				t.Fatalf("iter %d: pivot committed at %d inside a dangerous structure whose Tout committed first at %d", i, pivotCT, toutCT)
+			}
+			m.Finish(pivot, true)
+		} else {
+			m.Abort(pivot)
 		}
-		m.Abort(pivot)
 	}
 }

@@ -965,6 +965,28 @@ func (m *Manager) Holds(owner *core.Txn, key Key, mode Mode) bool {
 	return e != nil && e.holders[owner]&mode == mode
 }
 
+// DumpKey formats the lock-table state of one key for diagnostics: every
+// holder with its transaction ID, status and held modes, and every parked
+// waiter with its requested mode. Used by stuck-lock watchdogs in tests.
+func (m *Manager) DumpKey(key Key) string {
+	s := m.shardOf(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.table[key]
+	if e == nil {
+		return fmt.Sprintf("%s: no entry", key)
+	}
+	out := fmt.Sprintf("%s: nS=%d nX=%d nSIRead=%d", key, e.nShared, e.nExclusive, e.nSIRead)
+	for h, held := range e.holders {
+		out += fmt.Sprintf("\n  holder txn=%d status=%v modes=%v", h.ID(), h.Status(), held)
+	}
+	for w := e.q.head; w != nil; w = w.next {
+		out += fmt.Sprintf("\n  waiter txn=%d status=%v mode=%v conv=%v edges=%d",
+			w.owner.ID(), w.owner.Status(), w.mode, w.conv, len(w.edges))
+	}
+	return out
+}
+
 // Stats reports the table census, used to verify that SIREAD cleanup keeps
 // the lock table bounded (the concern of thesis §4.3.1/§4.6.1), plus the
 // cumulative wait-path instrumentation of the contended Acquire. Counters

@@ -61,18 +61,44 @@ type waiter struct {
 	// signal per park because it is dequeued before being signalled.
 	ready chan struct{}
 
+	// state tracks the record's lifecycle (waiterFree → waiterOwned ↔
+	// waiterQueued) purely so misuse — double-put, double-enqueue, a signal
+	// to a recycled record — panics at the corrupting operation instead of
+	// surfacing minutes later as a lost wakeup. Transitions happen under
+	// the owning goroutine (free↔owned) or the shard mutex (owned↔queued).
+	state int8
+
 	prev, next *waiter
 }
+
+const (
+	waiterFree int8 = iota
+	waiterOwned
+	waiterQueued
+)
 
 var waiterPool = sync.Pool{New: func() any { return &waiter{ready: make(chan struct{}, 1)} }}
 
 func getWaiter() *waiter {
-	return waiterPool.Get().(*waiter)
+	w := waiterPool.Get().(*waiter)
+	if w.state != waiterFree {
+		panic("lock: pooled waiter still in use")
+	}
+	select {
+	case <-w.ready:
+		panic("lock: pooled waiter had a pending signal")
+	default:
+	}
+	w.state = waiterOwned
+	return w
 }
 
 // putWaiter returns w to the pool. The ready channel is drained first: a
 // grant signal may have raced a timeout and been left pending.
 func putWaiter(w *waiter) {
+	if w.state != waiterOwned {
+		panic("lock: putWaiter on a free or queued waiter")
+	}
 	select {
 	case <-w.ready:
 	default:
@@ -83,7 +109,21 @@ func putWaiter(w *waiter) {
 	w.granted, w.deadlock = false, false
 	w.rivals = nil
 	w.prev, w.next = nil, nil
+	w.state = waiterFree
 	waiterPool.Put(w)
+}
+
+// signal delivers w's single handoff. The buffer always has room — a waiter
+// is dequeued before it is signalled and signalled at most once per park —
+// so a full buffer means the record was signalled twice or recycled while
+// someone still held a reference; panic rather than silently corrupt the
+// handoff protocol.
+func (w *waiter) signal() {
+	select {
+	case w.ready <- struct{}{}:
+	default:
+		panic("lock: waiter signalled twice")
+	}
 }
 
 // waitQueue is an intrusive FIFO list of parked waiters, one per entry.
@@ -93,6 +133,10 @@ type waitQueue struct {
 }
 
 func (q *waitQueue) enqueue(w *waiter) {
+	if w.state != waiterOwned {
+		panic("lock: enqueue of a free or already-queued waiter")
+	}
+	w.state = waiterQueued
 	w.prev = q.tail
 	w.next = nil
 	if q.tail != nil {
@@ -105,6 +149,10 @@ func (q *waitQueue) enqueue(w *waiter) {
 }
 
 func (q *waitQueue) remove(w *waiter) {
+	if w.state != waiterQueued {
+		panic("lock: remove of a waiter that is not queued")
+	}
+	w.state = waiterOwned
 	if w.prev != nil {
 		w.prev.next = w.next
 	} else {
@@ -178,7 +226,7 @@ func (m *Manager) sweepLocked(s *shard, e *entry) {
 				m.wfg.drop(w)
 				w.granted = true
 				s.wakeups++
-				w.ready <- struct{}{}
+				w.signal()
 				// A granted conversion can newly block waiters *earlier*
 				// in the queue (e.g. a gap-mode SIREAD holder upgrading to
 				// Exclusive past a parked insert intention), which a single
@@ -193,7 +241,7 @@ func (m *Manager) sweepLocked(s *shard, e *entry) {
 				e.q.remove(w)
 				w.deadlock = true
 				s.wakeups++
-				w.ready <- struct{}{}
+				w.signal()
 			}
 			w = next
 		}

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package wal
+
+import "os"
+
+func datasync(f *os.File) error { return f.Sync() }
+
+func preallocate(*os.File, int64) {}

@@ -1,30 +1,57 @@
 package wal
 
 import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
 )
 
-func TestNoFlushMode(t *testing.T) {
-	l := NewLog(0)
-	lsn := l.Append(100)
+func mustOpen(t *testing.T, opts Options) *Log {
+	t.Helper()
+	l, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l
+}
+
+func collect(t *testing.T, l *Log) (tss []uint64, payloads [][]byte) {
+	t.Helper()
+	if err := l.Replay(func(ts uint64, p []byte) error {
+		tss = append(tss, ts)
+		payloads = append(payloads, append([]byte(nil), p...))
+		return nil
+	}); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return
+}
+
+func TestNullModeNoDelay(t *testing.T) {
+	l := mustOpen(t, Options{})
+	lsn := l.Append(1, []byte("x"))
 	start := time.Now()
-	l.Flush(lsn)
+	if err := l.WaitDurable(lsn); err != nil {
+		t.Fatal(err)
+	}
 	if time.Since(start) > 10*time.Millisecond {
-		t.Fatal("zero-latency flush slept")
+		t.Fatal("zero-delay sync slept")
 	}
 	st := l.StatsSnapshot()
-	if st.BytesAppended != 100 || st.Flushes != 0 {
+	if st.Appends != 1 || st.BytesAppended != frameHeader+1 {
 		t.Fatalf("stats = %+v", st)
 	}
 }
 
 func TestLSNsMonotonic(t *testing.T) {
-	l := NewLog(0)
+	l := mustOpen(t, Options{})
 	prev := LSN(0)
 	for i := 0; i < 100; i++ {
-		lsn := l.Append(1)
+		lsn := l.Append(uint64(i+1), nil)
 		if lsn <= prev {
 			t.Fatalf("LSN %d after %d", lsn, prev)
 		}
@@ -32,50 +59,357 @@ func TestLSNsMonotonic(t *testing.T) {
 	}
 }
 
-func TestFlushWaitsForDurability(t *testing.T) {
-	const lat = 20 * time.Millisecond
-	l := NewLog(lat)
-	lsn := l.Append(10)
-	start := time.Now()
-	l.Flush(lsn)
-	if d := time.Since(start); d < lat {
-		t.Fatalf("flush returned after %v, latency is %v", d, lat)
-	}
-	if st := l.StatsSnapshot(); st.DurableLSN < lsn {
-		t.Fatalf("DurableLSN = %d < %d", st.DurableLSN, lsn)
-	}
-	// Re-flushing a durable LSN returns immediately.
-	start = time.Now()
-	l.Flush(lsn)
-	if time.Since(start) > lat/2 {
-		t.Fatal("flush of durable LSN slept")
-	}
+func TestOutOfOrderTSPanics(t *testing.T) {
+	l := mustOpen(t, Options{})
+	l.Append(5, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on TS regression")
+		}
+	}()
+	l.Append(4, nil)
 }
 
 // TestGroupCommit checks the core property behind Figures 6.2-6.5: many
-// concurrent committers share physical flushes, so total flush count is far
+// concurrent committers share physical fsyncs, so the sync count is far
 // below the committer count.
 func TestGroupCommit(t *testing.T) {
 	const lat = 10 * time.Millisecond
 	const committers = 64
-	l := NewLog(lat)
+	l := mustOpen(t, Options{SyncDelay: lat})
+	var mu sync.Mutex
+	next := uint64(0)
 	var wg sync.WaitGroup
 	start := time.Now()
 	for i := 0; i < committers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			lsn := l.Append(10)
-			l.Flush(lsn)
+			mu.Lock()
+			next++
+			lsn := l.Append(next, []byte("rec"))
+			mu.Unlock()
+			if err := l.WaitDurable(lsn); err != nil {
+				t.Error(err)
+			}
 		}()
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 	st := l.StatsSnapshot()
-	if st.Flushes >= committers/2 {
-		t.Fatalf("group commit ineffective: %d flushes for %d committers", st.Flushes, committers)
+	if st.Fsyncs >= committers/2 {
+		t.Fatalf("group commit ineffective: %d fsyncs for %d committers", st.Fsyncs, committers)
 	}
 	if elapsed > time.Duration(committers)*lat/4 {
 		t.Fatalf("commits serialized: %v elapsed", elapsed)
+	}
+}
+
+func TestGroupCommitMaxDelayBatches(t *testing.T) {
+	l := mustOpen(t, Options{GroupCommitMaxDelay: 5 * time.Millisecond, GroupCommitMaxBatch: 1 << 20})
+	var mu sync.Mutex
+	next := uint64(0)
+	var wg sync.WaitGroup
+	const committers = 32
+	for i := 0; i < committers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			next++
+			lsn := l.Append(next, []byte("rec"))
+			mu.Unlock()
+			if err := l.WaitDurable(lsn); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	st := l.StatsSnapshot()
+	if st.Batches == 0 || st.Appends != committers {
+		t.Fatalf("stats = %+v", st)
+	}
+	if avg := float64(st.Appends) / float64(st.Batches); avg <= 1.5 {
+		t.Fatalf("linger produced no batching: avg batch size %.2f", avg)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, Options{Dir: dir})
+	var want [][]byte
+	for i := 1; i <= 20; i++ {
+		p := []byte(fmt.Sprintf("record-%d", i))
+		want = append(want, p)
+		lsn := l.Append(uint64(i), p)
+		if err := l.WaitDurable(lsn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := mustOpen(t, Options{Dir: dir})
+	tss, got := collect(t, l2)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) || tss[i] != uint64(i+1) {
+			t.Fatalf("record %d: ts=%d payload=%q", i, tss[i], got[i])
+		}
+	}
+	if l2.LastTS() != 20 {
+		t.Fatalf("LastTS = %d", l2.LastTS())
+	}
+}
+
+func TestCloseFlushesPending(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, Options{Dir: dir})
+	l.Append(1, []byte("unwaited"))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2 := mustOpen(t, Options{Dir: dir})
+	_, got := collect(t, l2)
+	if len(got) != 1 || string(got[0]) != "unwaited" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+// writeRecords creates a log dir with n durable records ("r1".."rn") and
+// returns the segment file path.
+func writeRecords(t *testing.T, dir string, n int) string {
+	t.Helper()
+	l := mustOpen(t, Options{Dir: dir})
+	for i := 1; i <= n; i++ {
+		lsn := l.Append(uint64(i), []byte(fmt.Sprintf("r%d", i)))
+		if err := l.WaitDurable(lsn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	return segs[len(segs)-1].path
+}
+
+// frameOffsets returns the byte offset of every frame boundary in the
+// segment, including 0 and the final size.
+func frameOffsets(t *testing.T, path string) []int64 {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offs := []int64{0}
+	off := 0
+	for off < len(data) {
+		plen := int(uint32(data[off+4]) | uint32(data[off+5])<<8 | uint32(data[off+6])<<16 | uint32(data[off+7])<<24)
+		off += frameHeader + plen
+		offs = append(offs, int64(off))
+	}
+	return offs
+}
+
+// TestTornTailMatrix truncates the log at every frame boundary and at every
+// mid-frame offset between boundaries, then verifies recovery yields exactly
+// the record prefix before the cut.
+func TestTornTailMatrix(t *testing.T) {
+	const n = 8
+	master := t.TempDir()
+	seg := writeRecords(t, master, n)
+	offs := frameOffsets(t, seg)
+	if len(offs) != n+1 {
+		t.Fatalf("expected %d boundaries, got %d", n+1, len(offs))
+	}
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cuts := map[int64]int{} // cut offset → expected record count
+	for i, off := range offs {
+		cuts[off] = i
+	}
+	for i := 1; i < len(offs); i++ {
+		mid := (offs[i-1] + offs[i]) / 2
+		if _, dup := cuts[mid]; !dup {
+			cuts[mid] = i - 1 // torn record i is lost
+		}
+	}
+
+	for cut, wantRecords := range cuts {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, filepath.Base(seg)), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l := mustOpen(t, Options{Dir: dir})
+		tss, _ := collect(t, l)
+		if len(tss) != wantRecords {
+			t.Fatalf("cut at %d: recovered %d records, want %d", cut, len(tss), wantRecords)
+		}
+		for j, ts := range tss {
+			if ts != uint64(j+1) {
+				t.Fatalf("cut at %d: record %d has ts %d", cut, j, ts)
+			}
+		}
+		l.Close()
+	}
+}
+
+// TestCorruptTail flips a byte in the middle of the last record; recovery
+// must drop that record but keep everything before it.
+func TestCorruptTail(t *testing.T) {
+	const n = 5
+	dir := t.TempDir()
+	seg := writeRecords(t, dir, n)
+	offs := frameOffsets(t, seg)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[offs[n-1]+frameHeader] ^= 0xFF // corrupt last record's payload
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l := mustOpen(t, Options{Dir: dir})
+	tss, _ := collect(t, l)
+	if len(tss) != n-1 {
+		t.Fatalf("recovered %d records, want %d", len(tss), n-1)
+	}
+}
+
+// TestCorruptMiddleDropsSuffix corrupts an interior record; everything from
+// that point on is untrusted and dropped, leaving a clean prefix.
+func TestCorruptMiddleDropsSuffix(t *testing.T) {
+	const n = 6
+	dir := t.TempDir()
+	seg := writeRecords(t, dir, n)
+	offs := frameOffsets(t, seg)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[offs[2]+frameHeader] ^= 0xFF // corrupt record 3
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l := mustOpen(t, Options{Dir: dir})
+	tss, _ := collect(t, l)
+	if len(tss) != 2 {
+		t.Fatalf("recovered %d records, want 2", len(tss))
+	}
+}
+
+func TestSegmentRollAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, Options{Dir: dir, SegmentBytes: 64})
+	for i := 1; i <= 10; i++ {
+		lsn := l.Append(uint64(i), bytes.Repeat([]byte{byte(i)}, 40))
+		if err := l.WaitDurable(lsn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("expected ≥3 segments after rolls, got %d", len(segs))
+	}
+	// Everything ≤ ts 5 is checkpointed; sealed segments below that go away.
+	if err := l.TruncateBelow(5); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := listSegments(dir)
+	if len(after) >= len(segs) {
+		t.Fatalf("truncation removed nothing: %d → %d segments", len(segs), len(after))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Records above the truncation point survive reopen.
+	l2 := mustOpen(t, Options{Dir: dir})
+	tss, _ := collect(t, l2)
+	if len(tss) == 0 || tss[len(tss)-1] != 10 {
+		t.Fatalf("post-truncate replay: %v", tss)
+	}
+	for _, ts := range tss {
+		if ts > 5 {
+			return // at least one post-checkpoint record retained
+		}
+	}
+	t.Fatal("no records above truncation point")
+}
+
+func TestReplayAcrossSegments(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, Options{Dir: dir, SegmentBytes: 32})
+	for i := 1; i <= 12; i++ {
+		lsn := l.Append(uint64(i), []byte(fmt.Sprintf("record-%02d", i)))
+		if err := l.WaitDurable(lsn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2 := mustOpen(t, Options{Dir: dir})
+	tss, _ := collect(t, l2)
+	if len(tss) != 12 {
+		t.Fatalf("replayed %d records across segments, want 12", len(tss))
+	}
+	for i, ts := range tss {
+		if ts != uint64(i+1) {
+			t.Fatalf("record %d out of order: ts %d", i, ts)
+		}
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	payload := []byte("checkpoint image bytes")
+	if err := WriteCheckpoint(dir, 42, payload); err != nil {
+		t.Fatal(err)
+	}
+	ts, got, ok, err := ReadCheckpoint(dir)
+	if err != nil || !ok || ts != 42 || !bytes.Equal(got, payload) {
+		t.Fatalf("ReadCheckpoint = %d %q %v %v", ts, got, ok, err)
+	}
+	// Overwrite is atomic: a second checkpoint replaces the first.
+	if err := WriteCheckpoint(dir, 99, []byte("newer")); err != nil {
+		t.Fatal(err)
+	}
+	ts, got, ok, err = ReadCheckpoint(dir)
+	if err != nil || !ok || ts != 99 || string(got) != "newer" {
+		t.Fatalf("ReadCheckpoint = %d %q %v %v", ts, got, ok, err)
+	}
+}
+
+func TestCheckpointMissing(t *testing.T) {
+	_, _, ok, err := ReadCheckpoint(t.TempDir())
+	if ok || err != nil {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+}
+
+func TestCheckpointCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteCheckpoint(dir, 7, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, ckptName)
+	data, _ := os.ReadFile(path)
+	data[len(data)-6] ^= 0x01
+	os.WriteFile(path, data, 0o644)
+	if _, _, _, err := ReadCheckpoint(dir); err == nil {
+		t.Fatal("corrupt checkpoint accepted")
 	}
 }

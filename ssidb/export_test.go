@@ -1,0 +1,7 @@
+package ssidb
+
+import "ssi/internal/lock"
+
+// LockManagerForTest exposes the lock manager so stuck-lock watchdogs in the
+// external test package can dump entry state.
+func LockManagerForTest(db *DB) *lock.Manager { return db.locks }

@@ -31,10 +31,33 @@
 // Errors ErrUnsafe, ErrWriteConflict, ErrDeadlock and ErrLockTimeout mean
 // the transaction was aborted and should be retried by the application
 // (IsAbort classifies them).
+//
+// # Durability
+//
+// Open is in-memory; OpenDir adds a write-ahead log and crash recovery:
+//
+//	db, err := ssidb.OpenDir(dir, ssidb.Options{
+//		GroupCommitMaxDelay: 200 * time.Microsecond,
+//	})
+//
+// Every committing writer appends one redo record at the engine's commit
+// point — log order is commit order — and then waits for the record to be
+// durable before its blocking locks are released, so no other transaction
+// can observe state that a crash could roll back. Flushes are batched by
+// group commit: a dedicated flusher goroutine lingers up to
+// GroupCommitMaxDelay for committers to pile on (bounded by
+// GroupCommitMaxBatch), and retires the whole batch with a single
+// fdatasync against a preallocated segment. OpenDir replays the log —
+// tolerating a torn tail from a mid-write crash — and Checkpoint folds it
+// into an image so recovery stays proportional to recent activity; with
+// CheckpointBytes > 0 checkpoints also trigger automatically as log bytes
+// accumulate. Stats reports WALAppends, GroupCommitBatches, Fsyncs,
+// AvgBatchSize and RecoveryReplayed.
 package ssidb
 
 import (
 	"errors"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -132,9 +155,31 @@ type Options struct {
 	// implicitly. Smaller pages increase page-mode contention. Default 64.
 	PageMaxKeys int
 	// FlushLatency is the simulated duration of one physical log flush at
-	// commit. Zero disables flushing (the Figure 6.1 configuration);
-	// non-zero enables group commit (Figures 6.2+).
+	// commit: the WAL runs against an in-memory null device whose sync
+	// sleeps this long. Zero disables logging entirely (the Figure 6.1
+	// configuration); non-zero enables group commit against the simulated
+	// disk (Figures 6.2+). Ignored when Dir is set — real fsyncs are used.
 	FlushLatency time.Duration
+	// Dir, when non-empty, makes the database durable: commits are redo-
+	// logged to a group-committed WAL under Dir, checkpoints are written
+	// there, and OpenDir replays both on restart. Empty (the default) keeps
+	// the engine fully in-memory.
+	Dir string
+	// GroupCommitMaxDelay is how long the WAL flusher lingers before
+	// issuing its sync so concurrent committers can join the batch. Zero
+	// syncs immediately; batching still happens naturally among commits
+	// that arrive while a sync is in flight.
+	GroupCommitMaxDelay time.Duration
+	// GroupCommitMaxBatch skips the linger once this many commit records
+	// are pending. Default 256.
+	GroupCommitMaxBatch int
+	// SegmentBytes is the WAL segment roll size. Default 64 MiB.
+	SegmentBytes int64
+	// CheckpointBytes triggers an automatic asynchronous checkpoint (and
+	// WAL truncation) once this many log bytes accumulate since the last
+	// one. Zero selects the default (16 MiB); negative disables automatic
+	// checkpoints (DB.Checkpoint still works). Only meaningful with Dir.
+	CheckpointBytes int64
 	// LockShards is the number of hash stripes in the lock manager's table
 	// (rounded up to a power of two, clamped to [1, 256]). Zero selects the
 	// default, lock.DefaultShards: GOMAXPROCS-scaled so every core can work
@@ -175,8 +220,9 @@ type Options struct {
 }
 
 type table struct {
-	name string
-	data *mvcc.Table
+	name        string
+	data        *mvcc.Table
+	pageMaxKeys int // as configured at creation; recorded in checkpoints
 }
 
 // tableMap is the immutable table directory; a new map is published on every
@@ -190,10 +236,21 @@ type DB struct {
 	opts  Options
 	mgr   *core.Manager
 	locks *lock.Manager
-	log   *wal.Log
+	log   *wal.Log // nil when neither Dir nor FlushLatency is set
+	dir   string   // Options.Dir; "" for in-memory (real or simulated log)
 
 	tables   atomic.Pointer[tableMap]
 	createMu sync.Mutex // serialises table creation (map copy + publish)
+
+	// Durability bookkeeping: recovered counts records replayed at open;
+	// ckptBase is the WAL byte count at the last checkpoint (the automatic
+	// trigger measures growth against it); ckptBusy is the async
+	// single-flight latch; ckptMu serialises checkpoint passes.
+	recovered   atomic.Uint64
+	checkpoints atomic.Uint64
+	ckptBase    atomic.Uint64
+	ckptBusy    atomic.Bool
+	ckptMu      sync.Mutex
 
 	cleanupBatches atomic.Uint64
 	wmTicks        atomic.Uint64
@@ -205,25 +262,84 @@ type DB struct {
 	roSIReadSkips   atomic.Uint64
 }
 
-// Open creates an empty database with the given options.
+// Open creates a database with the given options. With Options.Dir unset it
+// always succeeds and the database is in-memory; with Dir set it may need
+// recovery, and Open panics where OpenDir would return an error — durable
+// callers should prefer OpenDir.
 func Open(opts Options) *DB {
+	db, err := open(opts)
+	if err != nil {
+		panic("ssidb: Open(durable): " + err.Error())
+	}
+	return db
+}
+
+// OpenDir opens (creating if needed) a durable database rooted at dir:
+// committed transactions are redo-logged through the group-commit WAL, and
+// opening an existing directory recovers by loading the last checkpoint and
+// rolling the log forward. Stats.RecoveryReplayed reports how many log
+// records were applied.
+func OpenDir(dir string, opts Options) (*DB, error) {
+	opts.Dir = dir
+	return open(opts)
+}
+
+func open(opts Options) (*DB, error) {
 	if opts.PageMaxKeys <= 0 {
 		opts.PageMaxKeys = 64
 	}
+	if opts.Dir != "" && opts.CheckpointBytes == 0 {
+		opts.CheckpointBytes = 16 << 20
+	}
 	db := &DB{
 		opts:  opts,
+		dir:   opts.Dir,
 		mgr:   core.NewManager(opts.Detector),
 		locks: lock.NewManagerShards(!opts.DisableSIReadUpgrade, opts.LockShards),
-		log:   wal.NewLog(opts.FlushLatency),
 	}
 	empty := tableMap{}
 	db.tables.Store(&empty)
 	db.locks.SetWaitTimeout(opts.LockWaitTimeout)
+	if opts.Dir != "" || opts.FlushLatency > 0 {
+		l, err := wal.Open(wal.Options{
+			Dir:                 opts.Dir,
+			SyncDelay:           opts.FlushLatency,
+			SegmentBytes:        opts.SegmentBytes,
+			GroupCommitMaxDelay: opts.GroupCommitMaxDelay,
+			GroupCommitMaxBatch: opts.GroupCommitMaxBatch,
+		})
+		if err != nil {
+			return nil, err
+		}
+		db.log = l
+		if opts.Dir != "" {
+			if err := db.recover(); err != nil {
+				l.Close()
+				return nil, err
+			}
+			db.ckptBase.Store(db.log.StatsSnapshot().BytesAppended)
+		}
+		// Installed only after recovery, so replayed commits are never
+		// re-appended to the log they came from.
+		db.mgr.SetCommitHook(db.walCommitHook)
+	}
 	// Every watermark advance is a reclamation opportunity; the hook is an
 	// atomic-counter throttle plus per-partition trigger checks, with the
 	// sweeps themselves asynchronous.
 	db.mgr.SetWatermarkHook(db.onWatermarkAdvance)
-	return db
+	return db, nil
+}
+
+// Close flushes and closes the write-ahead log. In-flight transactions must
+// have finished; Close does not wait for them. Closing an in-memory
+// database is a no-op.
+func (db *DB) Close() error {
+	if db.log == nil {
+		return nil
+	}
+	db.ckptMu.Lock() // let a running checkpoint finish
+	defer db.ckptMu.Unlock()
+	return db.log.Close()
 }
 
 // LockShards returns the lock manager's effective shard count.
@@ -265,7 +381,7 @@ func (db *DB) getOrCreateTable(name string, pageMaxKeys int) *table {
 }
 
 func (db *DB) newTable(name string, pageMaxKeys int) *table {
-	tb := &table{name: name}
+	tb := &table{name: name, pageMaxKeys: pageMaxKeys}
 	tb.data = mvcc.NewTable(name, mvcc.Config{
 		PageMaxKeys: pageMaxKeys,
 		Shards:      db.opts.TableShards,
@@ -399,11 +515,31 @@ func (db *DB) Run(iso Isolation, fn func(*Txn) error) error {
 // RunRetry is Run plus automatic retry when the transaction aborts with an
 // abort-class error (unsafe, write conflict, deadlock), the standard
 // application response the paper assumes.
+//
+// From the second consecutive abort on, retries back off with full jitter
+// (capped exponential, 16µs up to ~1ms). The basic detector aborts every
+// member of a dangerous structure regardless of whether any of them
+// committed, so identical retry loops contending on one hot key can
+// re-create the same structure in lockstep indefinitely — a livelock in
+// which every transaction aborts and none commits. Desynchronising the
+// loops is what lets one slip through and commit; its SIREAD locks then
+// drain and the structure dissolves. (The precise detector does not need
+// the jitter for progress — it only aborts a pivot whose outgoing partner
+// actually committed first — but repeated conflicts still mean the key is
+// hot, and backing off sheds useless work.)
 func (db *DB) RunRetry(iso Isolation, fn func(*Txn) error) error {
-	for {
+	for attempt := 0; ; attempt++ {
 		err := db.Run(iso, fn)
 		if err == nil || !IsAbort(err) {
 			return err
+		}
+		if attempt > 0 {
+			shift := attempt
+			if shift > 7 {
+				shift = 7
+			}
+			ceil := time.Duration(1<<shift) * 8 * time.Microsecond
+			time.Sleep(time.Duration(rand.Int63n(int64(ceil))))
 		}
 	}
 }
@@ -439,6 +575,10 @@ func (db *DB) onWatermarkAdvance(core.TS) {
 	for _, tb := range *db.tables.Load() {
 		tb.data.MaybeVacuum()
 	}
+	// Checkpoints piggyback on the same cadence: reclaiming log segments is
+	// the durability twin of reclaiming dead versions, and both are gated
+	// on the watermark moving (a stalled snapshot pins both).
+	db.maybeCheckpoint()
 }
 
 // VacuumStats reports what a DB.Vacuum pass reclaimed.
@@ -521,7 +661,24 @@ type Stats struct {
 	SuspendedTxns int
 	LockedKeys    int
 	LockOwners    int
-	LogFlushes    uint64
+	// LogFlushes is the physical WAL sync count — kept as an alias of
+	// Fsyncs for continuity with earlier versions.
+	LogFlushes uint64
+
+	// Write-ahead log / durability instrumentation, cumulative since Open
+	// (zero for in-memory databases with no simulated flush latency).
+	// WALAppends counts commit records appended; GroupCommitBatches the
+	// flushed batches; Fsyncs the physical syncs (one per batch); Avg-
+	// BatchSize is WALAppends/GroupCommitBatches —
+	// values above 1 are group commit working; RecoveryReplayed is the
+	// number of log records rolled forward when this database was opened;
+	// Checkpoints the checkpoint passes completed since Open.
+	WALAppends         uint64
+	GroupCommitBatches uint64
+	Fsyncs             uint64
+	AvgBatchSize       float64
+	RecoveryReplayed   uint64
+	Checkpoints        uint64
 
 	// Lock-wait instrumentation, cumulative since Open. LockWaits counts
 	// lock requests that found a blocker; LockSpinGrants the subset that
@@ -560,7 +717,14 @@ type Stats struct {
 func (db *DB) StatsSnapshot() Stats {
 	cs := db.mgr.StatsSnapshot()
 	ls := db.locks.StatsSnapshot()
-	ws := db.log.StatsSnapshot()
+	var ws wal.Stats
+	if db.log != nil {
+		ws = db.log.StatsSnapshot()
+	}
+	var avgBatch float64
+	if ws.Batches > 0 {
+		avgBatch = float64(ws.Appends) / float64(ws.Batches)
+	}
 	var vruns, vpruned uint64
 	for _, tb := range *db.tables.Load() {
 		ts := tb.data.Stats()
@@ -578,7 +742,15 @@ func (db *DB) StatsSnapshot() Stats {
 		SuspendedTxns:  cs.Suspended,
 		LockedKeys:     ls.Keys,
 		LockOwners:     ls.Owners,
-		LogFlushes:     ws.Flushes,
+		LogFlushes:     ws.Fsyncs,
+
+		WALAppends:         ws.Appends,
+		GroupCommitBatches: ws.Batches,
+		Fsyncs:             ws.Fsyncs,
+		AvgBatchSize:       avgBatch,
+		RecoveryReplayed:   db.recovered.Load(),
+		Checkpoints:        db.checkpoints.Load(),
+
 		LockWaits:      ls.Waits,
 		LockSpinGrants: ls.SpinGrants,
 		LockParks:      ls.Parks,

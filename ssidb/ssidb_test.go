@@ -832,3 +832,67 @@ func TestGroupCommitUnderLoad(t *testing.T) {
 		t.Fatalf("flushes = %d for %d commits; group commit broken", st.LogFlushes, workers*each)
 	}
 }
+
+// TestHotKeyProgress pins the precise detector's progress guarantee:
+// transactions that all read and then write one hot key form dangerous
+// structures with each other and abort freely, but under Figure 3.10 every
+// abort implicates a committed transaction, so the group as a whole always
+// makes progress. A detector that aborts a pivot whose identified partners
+// are all still active lets four such workers abort each other in lockstep
+// forever — a hot-key livelock that wedges this test against its watchdog
+// instead of failing an assertion. The workers retry WITHOUT backoff
+// (unlike RunRetry) so the guarantee is pinned on the detector alone, not
+// on jitter breaking the lockstep.
+func TestHotKeyProgress(t *testing.T) {
+	db := Open(Options{Detector: DetectorPrecise})
+	defer db.Close()
+	seed(t, db, "kv", "hot", 0)
+	for w := 0; w < 4; w++ {
+		seed(t, db, "kv", fmt.Sprintf("own%d", w), 0)
+	}
+	const each = 25
+	finished := make(chan int, 4)
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			own := []byte(fmt.Sprintf("own%d", w))
+			for i := 0; i < each; i++ {
+				retry := func(fn func(tx *Txn) error) error {
+					for {
+						err := db.Run(SerializableSI, fn)
+						if err == nil || !IsAbort(err) {
+							return err
+						}
+					}
+				}
+				if err := retry(func(tx *Txn) error {
+					hv, _, err := tx.Get("kv", []byte("hot"))
+					if err != nil {
+						return err
+					}
+					ov, _, err := tx.Get("kv", own)
+					if err != nil {
+						return err
+					}
+					if err := tx.Put("kv", own, i64(geti64(ov)+1)); err != nil {
+						return err
+					}
+					return tx.Put("kv", []byte("hot"), i64(geti64(hv)+1))
+				}); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					break
+				}
+			}
+			finished <- w
+		}(w)
+	}
+	for n := 0; n < 4; n++ {
+		select {
+		case <-finished:
+		case <-time.After(30 * time.Second):
+			t.Fatal("hot-key workers stopped committing: progress guarantee broken (livelock)")
+		}
+	}
+	if v, _ := readI64(t, db, "kv", "hot"); v != 4*each {
+		t.Fatalf("hot = %d, want %d (lost updates)", v, 4*each)
+	}
+}

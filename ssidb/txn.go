@@ -19,6 +19,12 @@ type Txn struct {
 	writes []writeRec
 	done   bool
 
+	// redo accumulates this transaction's redo record (one encoded entry
+	// per write, values copied at write time so later caller mutation of
+	// the value slice cannot corrupt the log). Empty when the database has
+	// no WAL.
+	redo []byte
+
 	// rivals and lockKeys are per-transaction scratch buffers for the
 	// SIREAD/exclusive lock paths: lock.AcquireInto and
 	// AcquireSIReadBatchInto append conflicting holders into rivals, and
@@ -136,12 +142,21 @@ func (tx *Txn) Abort() error {
 
 // Commit commits the transaction: the dangerous-structure check and commit
 // timestamp assignment happen atomically (thesis Figures 3.2/3.10), the
-// commit log record is group-flushed, blocking locks are released only after
-// the flush (the ordering fix of thesis §4.4), and the record is suspended
-// if it must remain visible to future conflict detection (§3.3).
+// redo record is appended to the WAL inside the same commit-serialization
+// section (so log order equals commit order), the record is group-flushed,
+// and blocking locks are released only after the batch's fsync returns (the
+// ordering fix of thesis §4.4 — no other transaction may read this one's
+// writes until they are durable). The transaction record is suspended if it
+// must remain visible to future conflict detection (§3.3).
 func (tx *Txn) Commit() error {
 	if tx.done {
 		return ErrTxnDone
+	}
+	logged := tx.shouldLog()
+	if logged {
+		// The commit hook, running under tsMu inside CommitPrepare, appends
+		// the record and stores its LSN back into this slot.
+		tx.t.SetCommitState(&commitState{redo: tx.redo})
 	}
 	ct, err := tx.db.mgr.CommitPrepare(tx.t)
 	if err != nil {
@@ -150,8 +165,15 @@ func (tx *Txn) Commit() error {
 		}
 		return err
 	}
-	lsn := tx.db.log.Append(32 + 16*len(tx.writes))
-	tx.db.log.Flush(lsn)
+	var walErr error
+	if logged {
+		cs := tx.t.CommitState().(*commitState)
+		// The fsync wait happens outside every engine lock. On error the
+		// commit is already published in memory but its durability is
+		// unknown; the log error is sticky and is reported to this caller
+		// and every subsequent durable commit.
+		walErr = tx.db.log.WaitDurable(cs.lsn)
+	}
 	tx.db.locks.ReleaseBlocking(tx.t)
 	keep := tx.t.Isolation().TracksConflicts() &&
 		(tx.db.locks.HoldsSIRead(tx.t) || tx.db.mgr.HasOutConflict(tx.t))
@@ -161,7 +183,7 @@ func (tx *Txn) Commit() error {
 	if r := tx.db.opts.Recorder; r != nil {
 		r.RecCommit(tx.t.ID(), ct)
 	}
-	return nil
+	return walErr
 }
 
 // snapshot returns the transaction's read timestamp, assigning it now if
@@ -422,6 +444,9 @@ func (tx *Txn) write(tableName string, key, val []byte, tombstone, mustNotExist 
 	}
 	inserted, _, _ := tb.data.Write(tx.t, key, val, tombstone, onInsert)
 	tx.writes = append(tx.writes, writeRec{tb: tb, key: string(key)})
+	if tx.db.log != nil {
+		tx.redo = appendRedoEntry(tx.redo, tb.name, key, val, tombstone)
+	}
 	if tx.db.opts.Granularity == GranularityPage {
 		tb.data.AddPageWriter(tb.data.LeafPage(key), tx.t)
 	}
