@@ -1,0 +1,327 @@
+package main
+
+// Network client mode (-server): drive a running ssiserver over TCP from
+// this separate process, with one connection per worker, and report
+// end-to-end tail latency (p50/p99/p999/max) alongside throughput and the
+// server's admission-controller counters. This is the measurement rig for
+// the admission-control acceptance: at hundreds of connections, a capped
+// MPL should match or beat the uncapped server on commits/s while bounding
+// p99 — the paper's §6 thrashing fix observed from the client side.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ssi/internal/harness"
+	"ssi/internal/server"
+	"ssi/internal/workload/kvmix"
+	"ssi/internal/workload/smallbank"
+	"ssi/ssidb"
+)
+
+type clientConfig struct {
+	addr      string
+	conns     int
+	iso       ssidb.Isolation
+	hot       bool // hot-key kvmix (the thrashing-prone mix)
+	smallBank bool // interactive SmallBank instead of batched kvmix
+	duration  time.Duration
+	warmup    time.Duration
+	jsonOut   bool
+}
+
+// remoteStats mirrors the server's MsgStats JSON document.
+type remoteStats struct {
+	Server    server.Stats
+	Admission server.AdmissionStats
+	DB        ssidb.Stats
+}
+
+func fetchStats(c *server.Client) (remoteStats, error) {
+	var st remoteStats
+	raw, err := c.Stats()
+	if err != nil {
+		return st, err
+	}
+	return st, json.Unmarshal(raw, &st)
+}
+
+// backoff sleeps with full jitter over a capped exponential ceiling —
+// the RunRetry policy, applied client-side (see ssidb.Retryable). Admission
+// refusals (queue full / queue timeout) get a 64x longer ceiling: they
+// signal sustained overload, not a lost race, so hammering the admission
+// queue at conflict-retry cadence just converts the queue into a refusal
+// storm.
+func backoff(r *rand.Rand, attempt int, err error) {
+	if attempt == 0 {
+		return
+	}
+	shift := attempt
+	if shift > 7 {
+		shift = 7
+	}
+	base := 8 * time.Microsecond
+	if errors.Is(err, server.ErrQueueFull) || errors.Is(err, server.ErrQueueTimeout) {
+		base = 512 * time.Microsecond
+	}
+	ceil := time.Duration(1<<shift) * base
+	time.Sleep(time.Duration(r.Int63n(int64(ceil))))
+}
+
+func clientFatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ssibench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// loadRemote populates the workload tables through one connection, in
+// batched transactions.
+func loadRemote(c *server.Client, cc clientConfig, kvCfg kvmix.Config, sbCfg smallbank.Config) {
+	if cc.smallBank {
+		ops := make([]server.Op, 0, 3*100)
+		for lo := 0; lo < sbCfg.Accounts; lo += 100 {
+			hi := lo + 100
+			if hi > sbCfg.Accounts {
+				hi = sbCfg.Accounts
+			}
+			ops = ops[:0]
+			for i := lo; i < hi; i++ {
+				id := make([]byte, 4)
+				id[0], id[1], id[2], id[3] = byte(i>>24), byte(i>>16), byte(i>>8), byte(i)
+				bal := make([]byte, 8)
+				v := uint64(sbCfg.InitialBalance)
+				for b := 0; b < 8; b++ {
+					bal[b] = byte(v >> (56 - 8*b))
+				}
+				ops = append(ops,
+					server.Op{Type: server.OpPut, Table: smallbank.TableAccount, Key: smallbank.Name(i), Val: id},
+					server.Op{Type: server.OpPut, Table: smallbank.TableSaving, Key: id, Val: bal},
+					server.Op{Type: server.OpPut, Table: smallbank.TableChecking, Key: id, Val: bal})
+			}
+			if _, err := c.Do(ssidb.SnapshotIsolation, false, ops); err != nil {
+				clientFatal("remote smallbank load: %v", err)
+			}
+		}
+		return
+	}
+	ops := make([]server.Op, 0, 500)
+	for lo := 0; lo < kvCfg.Keys; lo += 500 {
+		hi := lo + 500
+		if hi > kvCfg.Keys {
+			hi = kvCfg.Keys
+		}
+		ops = ops[:0]
+		for i := lo; i < hi; i++ {
+			ops = append(ops, server.Op{Type: server.OpPut, Table: kvmix.Table, Key: kvmix.Key(i), Val: []byte("v")})
+		}
+		if _, err := c.Do(ssidb.SnapshotIsolation, false, ops); err != nil {
+			clientFatal("remote kvmix load: %v", err)
+		}
+	}
+}
+
+func runClient(cc clientConfig) {
+	kvCfg := kvmix.DefaultConfig()
+	if cc.hot {
+		kvCfg = kvmix.HotConfig()
+	}
+	sbCfg := smallbank.DefaultConfig()
+	workload := "kvmix"
+	if cc.hot {
+		workload = "kvmix-hot"
+	}
+	if cc.smallBank {
+		workload = "smallbank"
+	}
+
+	ctl, err := server.Dial(cc.addr)
+	if err != nil {
+		clientFatal("dial %s: %v", cc.addr, err)
+	}
+	defer ctl.Close()
+	ctl.Timeout = 30 * time.Second
+	if err := ctl.Ping(); err != nil {
+		clientFatal("ping %s: %v", cc.addr, err)
+	}
+	loadRemote(ctl, cc, kvCfg, sbCfg)
+
+	var measuring, stop atomic.Bool
+	var commits, retries, rollbacks atomic.Uint64
+	samples := make([][]int64, cc.conns)
+	errCh := make(chan error, cc.conns)
+	var wg sync.WaitGroup
+
+	chooser := kvCfg.Chooser()
+	for w := 0; w < cc.conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl, err := server.Dial(cc.addr)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer cl.Close()
+			cl.Timeout = 30 * time.Second
+			r := rand.New(rand.NewSource(int64(w)*7919 + 11))
+			buf := make([]int64, 0, 1<<16)
+			ops := make([]server.Op, 0, kvCfg.Reads+kvCfg.Writes)
+			for !stop.Load() {
+				start := time.Now()
+				var err error
+				for attempt := 0; ; attempt++ {
+					if cc.smallBank {
+						err = oneRemoteSmallbank(cl, cc.iso, r, sbCfg)
+					} else {
+						err = oneRemoteKvmix(cl, cc.iso, r, kvCfg, chooser, &ops)
+					}
+					if err == nil || !server.Retryable(err) {
+						break
+					}
+					if measuring.Load() {
+						retries.Add(1)
+					}
+					backoff(r, attempt, err)
+					if stop.Load() {
+						break
+					}
+				}
+				if err != nil && !errors.Is(err, harness.ErrRollback) {
+					// A retryable error in hand when stop lands is just the
+					// shutdown racing an in-flight retry, not a failure.
+					if stop.Load() && server.Retryable(err) {
+						break
+					}
+					errCh <- err
+					return
+				}
+				if measuring.Load() {
+					if err == nil {
+						commits.Add(1)
+						if len(buf) < cap(buf) {
+							buf = append(buf, int64(time.Since(start)))
+						}
+					} else {
+						rollbacks.Add(1)
+					}
+				}
+			}
+			samples[w] = buf
+		}(w)
+	}
+
+	time.Sleep(cc.warmup)
+	base, err := fetchStats(ctl)
+	if err != nil {
+		clientFatal("stats: %v", err)
+	}
+	measuring.Store(true)
+	time.Sleep(cc.duration)
+	measuring.Store(false)
+	after, err := fetchStats(ctl)
+	if err != nil {
+		clientFatal("stats: %v", err)
+	}
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		clientFatal("worker: %v", err)
+	default:
+	}
+
+	var all []int64
+	for _, s := range samples {
+		all = append(all, s...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return float64(all[i]) / 1e3 // µs
+	}
+
+	cell := benchCell{
+		Iso:               cc.iso.String(),
+		MPL:               after.Admission.MPL,
+		Connections:       cc.conns,
+		TPS:               float64(commits.Load()) / cc.duration.Seconds(),
+		Commits:           commits.Load(),
+		Rollbacks:         rollbacks.Load(),
+		Retries:           retries.Load(),
+		P50Us:             pct(0.50),
+		P99Us:             pct(0.99),
+		P999Us:            pct(0.999),
+		MaxUs:             pct(1.0),
+		QueueFullRefusals: after.Admission.RefusedFull - base.Admission.RefusedFull,
+		QueueTimeouts:     after.Admission.RefusedWait - base.Admission.RefusedWait,
+		Admitted:          after.Admission.Admitted - base.Admission.Admitted,
+		QueueWaitMs: float64(after.Admission.QueueWaitTime-base.Admission.QueueWaitTime) /
+			float64(time.Millisecond),
+	}
+	mplLabel := "uncapped"
+	if cell.MPL > 0 {
+		mplLabel = fmt.Sprintf("mpl=%d", cell.MPL)
+	}
+	fmt.Printf("client %s %s conns=%d %s: %.0f commits/s  p50=%.0fµs p99=%.0fµs p999=%.0fµs max=%.0fµs  retries=%d refused=%d\n",
+		workload, cc.iso, cc.conns, mplLabel,
+		cell.TPS, cell.P50Us, cell.P99Us, cell.P999Us, cell.MaxUs,
+		cell.Retries, cell.QueueFullRefusals+cell.QueueTimeouts)
+
+	if cc.jsonOut {
+		writeJSON(benchDoc{
+			Kind:     "client",
+			Name:     fmt.Sprintf("client_%s_c%d_mpl%d", workload, cc.conns, cell.MPL),
+			Title:    "loopback server benchmark (" + workload + ")",
+			Axis:     "connections",
+			Workload: workload,
+			Duration: cc.duration.String(),
+			Trials:   1,
+			Cells:    []benchCell{cell},
+		})
+	}
+}
+
+// oneRemoteKvmix runs one kvmix transaction as a single batched round trip:
+// begin, the whole read/write set, and commit amortized into one request.
+func oneRemoteKvmix(cl *server.Client, iso ssidb.Isolation, r *rand.Rand, cfg kvmix.Config, choose func(*rand.Rand) int, ops *[]server.Op) error {
+	reader := cfg.ROFrac > 0 && r.Float64() < cfg.ROFrac
+	b := (*ops)[:0]
+	for i := 0; i < cfg.Reads; i++ {
+		b = append(b, server.Op{Type: server.OpGet, Table: kvmix.Table, Key: kvmix.Key(choose(r))})
+	}
+	if !reader {
+		for i := 0; i < cfg.Writes; i++ {
+			b = append(b, server.Op{Type: server.OpPut, Table: kvmix.Table, Key: kvmix.Key(choose(r)), Val: valW})
+		}
+	}
+	*ops = b
+	_, err := cl.Do(iso, reader && cfg.RODeclared, b)
+	return err
+}
+
+var valW = []byte("w")
+
+// oneRemoteSmallbank runs one SmallBank program interactively: Begin, the
+// program's point reads and writes each as a round trip, then Commit — the
+// conversational shape that exercises per-statement latency and the
+// session's open-transaction accounting.
+func oneRemoteSmallbank(cl *server.Client, iso ssidb.Isolation, r *rand.Rand, cfg smallbank.Config) error {
+	tx, err := cl.Begin(iso, false)
+	if err != nil {
+		return err
+	}
+	if err := smallbank.RandomOp(tx, r, cfg); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}

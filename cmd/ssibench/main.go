@@ -69,8 +69,41 @@ func main() {
 		durable    = flag.Bool("durable", false, "with -scaling: commit through a real on-disk WAL (group-commit fsyncs in a per-cell temp directory) instead of in-memory; cells report WAL batch counters")
 		gcDelay    = flag.Duration("gcdelay", 0, "with -durable: group-commit flusher linger (Options.GroupCommitMaxDelay); 0 relies on natural batching while a sync is in flight")
 		jsonOut    = flag.Bool("json", false, "also write machine-readable results as BENCH_<name>.json")
+		serverAddr = flag.String("server", "", "run as a network client against a running ssiserver at this address instead of in-process; reports end-to-end tail latency (p50/p99/p999) and the server's admission counters")
+		connCount  = flag.Int("connections", 64, "with -server: concurrent client connections (one worker per connection)")
 	)
 	flag.Parse()
+
+	if *serverAddr != "" {
+		// Client mode drives a separate server process; the in-process
+		// sweep flags have no meaning here.
+		for _, f := range []string{"figure", "paper-scale", "scaling", "shards", "mpl", "trials",
+			"waitstats", "storage", "scanstall", "readonly", "durable", "gcdelay", "csv"} {
+			if flagWasSet(f) {
+				fmt.Fprintf(os.Stderr, "ssibench: -%s does not apply to -server\n", f)
+				os.Exit(2)
+			}
+		}
+		iso, ok := parseIso(*isoName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ssibench: unknown isolation %q (want SI, SSI or S2PL)\n", *isoName)
+			os.Exit(2)
+		}
+		if *contention && *smallBank {
+			fmt.Fprintf(os.Stderr, "ssibench: -contention and -smallbank select different workloads; pick one\n")
+			os.Exit(2)
+		}
+		runClient(clientConfig{
+			addr: *serverAddr, conns: *connCount, iso: iso,
+			hot: *contention, smallBank: *smallBank,
+			duration: *duration, warmup: *warmup, jsonOut: *jsonOut,
+		})
+		return
+	}
+	if flagWasSet("connections") {
+		fmt.Fprintf(os.Stderr, "ssibench: -connections requires -server\n")
+		os.Exit(2)
+	}
 
 	if *scaling {
 		// The figure-selection flags have no meaning here; reject them
@@ -207,6 +240,21 @@ type benchCell struct {
 	WriterMaxUs float64 `json:"writer_max_us,omitempty"`
 	Scans       uint64  `json:"scans,omitempty"`
 	ScanAvgMs   float64 `json:"scan_avg_ms,omitempty"`
+
+	// Network client mode (-server): end-to-end commit-latency percentiles
+	// measured at the client across all connections, client-side retries,
+	// and the server's admission-controller deltas for the window. MPL here
+	// is the server's configured cap (0 = uncapped).
+	Connections       int     `json:"connections,omitempty"`
+	P50Us             float64 `json:"p50_us,omitempty"`
+	P99Us             float64 `json:"p99_us,omitempty"`
+	P999Us            float64 `json:"p999_us,omitempty"`
+	MaxUs             float64 `json:"max_us,omitempty"`
+	Retries           uint64  `json:"retries,omitempty"`
+	Admitted          uint64  `json:"admitted,omitempty"`
+	QueueFullRefusals uint64  `json:"queue_full_refusals,omitempty"`
+	QueueTimeouts     uint64  `json:"queue_timeouts,omitempty"`
+	QueueWaitMs       float64 `json:"queue_wait_ms,omitempty"`
 }
 
 // benchDoc is the BENCH_<name>.json document.

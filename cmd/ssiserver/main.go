@@ -1,0 +1,15 @@
+// Command ssiserver serves an ssidb database over TCP, speaking the framed
+// protocol documented in ssi/internal/server. See that package for the
+// admission-control, backpressure and drain behaviour; run with -h for the
+// operational knobs.
+package main
+
+import (
+	"os"
+
+	"ssi/internal/server"
+)
+
+func main() {
+	os.Exit(server.Main(os.Args[1:]))
+}

@@ -90,6 +90,23 @@
 //     handful of atomic loads until the first yes, then a cached boolean;
 //     TxnOptions.Deferrable blocks begin until it holds (PostgreSQL's
 //     DEFERRABLE contract).
+//   - internal/server and cmd/ssiserver put a network front end on all of
+//     it: a TCP server speaking a length-prefixed framed protocol with one
+//     pipelined session goroutine per connection, a batched transaction
+//     API (a whole read/write set plus commit in one round trip), and
+//     interactive transactions whose remote handle runs the SmallBank
+//     programs unmodified. The front door applies the paper's §6
+//     thrashing argument as admission control — an MPL cap with a bounded
+//     FIFO queue, queue-wait deadlines, and immediate retryable refusals
+//     beyond either bound — plus per-connection read/write deadlines that
+//     cut off clients wedged while holding locks, a connection cap with
+//     fast refusal, a typed error taxonomy whose codes map back to the
+//     ssidb sentinels across the wire, and a SIGTERM drain that finishes
+//     in-flight transactions and exits 0. Commits are acknowledged only
+//     after the group-commit fsync, so the kill -9 recovery contract holds
+//     across the network boundary (both re-exec tested). `ssibench
+//     -server addr -connections N` drives it from a separate process and
+//     reports end-to-end p50/p99/p999 tail latency.
 //
 // The scaling benchmarks (scaling_bench_test.go, `ssibench -scaling` for
 // the lock axis, `ssibench -scaling -storage` for the row-store partition

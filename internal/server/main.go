@@ -1,0 +1,96 @@
+package server
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ssi/ssidb"
+)
+
+// Main is the ssiserver entry point, exported so cmd/ssiserver stays a
+// one-line wrapper and the process-level tests (SIGTERM drain, kill -9
+// recovery) can drive the real binary logic from a re-execed test binary.
+// It returns the process exit code.
+func Main(args []string) int {
+	fs := flag.NewFlagSet("ssiserver", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7654", "listen address (use :0 for an ephemeral port)")
+	dir := fs.String("dir", "", "data directory; empty runs in-memory (no durability)")
+	mpl := fs.Int("mpl", 0, "admission cap: max concurrently executing transactions (0 = uncapped)")
+	queueDepth := fs.Int("queue-depth", 0, "admission queue bound (default 4*mpl)")
+	queueTimeout := fs.Duration("queue-timeout", time.Second, "max admission queue wait")
+	maxConns := fs.Int("max-conns", 1024, "connection cap (fast-refused beyond)")
+	idleTimeout := fs.Duration("idle-timeout", 5*time.Minute, "read deadline for sessions with no open transaction")
+	txnTimeout := fs.Duration("txn-timeout", 10*time.Second, "read deadline for sessions holding an open transaction")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "max graceful-drain wait on SIGTERM before force-closing")
+	lockWait := fs.Duration("lock-wait", time.Second, "engine lock-wait timeout (0 = wait forever)")
+	gcDelay := fs.Duration("group-commit-delay", 200*time.Microsecond, "WAL group-commit linger")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	opts := ssidb.Options{
+		LockWaitTimeout:     *lockWait,
+		GroupCommitMaxDelay: *gcDelay,
+	}
+	var db *ssidb.DB
+	if *dir != "" {
+		var err error
+		if db, err = ssidb.OpenDir(*dir, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "ssiserver: open:", err)
+			return 1
+		}
+	} else {
+		db = ssidb.Open(opts)
+	}
+
+	srv, err := Listen(*addr, Config{
+		DB:           db,
+		MPL:          *mpl,
+		QueueDepth:   *queueDepth,
+		QueueTimeout: *queueTimeout,
+		MaxConns:     *maxConns,
+		IdleTimeout:  *idleTimeout,
+		TxnTimeout:   *txnTimeout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssiserver: listen:", err)
+		db.Close()
+		return 1
+	}
+	// The LISTENING line is the readiness signal parent processes (tests,
+	// scripts) wait for; it carries the resolved address for -addr :0.
+	fmt.Printf("ssiserver: LISTENING %s\n", srv.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+
+	code := 0
+	select {
+	case sig := <-sigc:
+		fmt.Printf("ssiserver: %v: draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "ssiserver: drain timeout, connections force-closed:", err)
+		}
+		cancel()
+		<-serveErr
+	case err := <-serveErr:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ssiserver: serve:", err)
+			code = 1
+		}
+	}
+	if err := db.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "ssiserver: close:", err)
+		code = 1
+	}
+	fmt.Println("ssiserver: STOPPED")
+	return code
+}

@@ -41,6 +41,19 @@ import (
 // LSN is a log sequence number. Record n has LSN n (first record is 1).
 type LSN = uint64
 
+// Append-contract violations. These used to panic; they are returned instead
+// so a long-lived server process can report a wedged log as a health problem
+// rather than crash mid-commit. Both mean the caller broke the log's
+// contract (appending after Close, or out of commit order) — the record was
+// NOT queued.
+var (
+	// ErrClosed reports an Append after Close.
+	ErrClosed = errors.New("wal: append on closed log")
+	// ErrOutOfOrder reports an Append whose commit timestamp regresses
+	// below an earlier record's.
+	ErrOutOfOrder = errors.New("wal: commit timestamps out of order")
+)
+
 // Frame layout: crc32c(4) | payloadLen(4) | commitTS(8) | payload.
 // The CRC covers payloadLen, commitTS and the payload.
 const frameHeader = 16
@@ -226,14 +239,18 @@ func (l *Log) Replay(fn func(ts uint64, payload []byte) error) error {
 // batch, returning its LSN. It never blocks on I/O — the engine calls it
 // while holding its commit-serialization mutex, which is what makes log
 // order equal commit order. Timestamps must be non-decreasing.
-func (l *Log) Append(ts uint64, payload []byte) LSN {
+//
+// A non-nil error (ErrClosed, ErrOutOfOrder) means the record was not
+// queued: the commit's durability is not — and never will be — established,
+// and the caller must surface that rather than acknowledge the commit.
+func (l *Log) Append(ts uint64, payload []byte) (LSN, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
-		panic("wal: Append on closed log")
+		return 0, ErrClosed
 	}
 	if ts < l.lastTS {
-		panic(fmt.Sprintf("wal: commit timestamps out of order: %d after %d", ts, l.lastTS))
+		return 0, fmt.Errorf("%w: %d after %d", ErrOutOfOrder, ts, l.lastTS)
 	}
 	l.lastTS = ts
 	lsn := l.nextLSN
@@ -251,7 +268,19 @@ func (l *Log) Append(ts uint64, payload []byte) LSN {
 	l.appends.Add(1)
 	l.bytes.Add(uint64(frameHeader + len(payload)))
 	l.flushCond.Signal()
-	return lsn
+	return lsn, nil
+}
+
+// Err reports the log's sticky I/O error: the first flush or segment-roll
+// failure, after which every WaitDurable returns it and no further batch is
+// attempted. A non-nil Err means the log is degraded — commits may already
+// be published in memory whose durability is unknown — and a serving process
+// should report unhealthy rather than keep acknowledging durable commits.
+// Nil means the log is healthy (or in-memory).
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
 }
 
 // WaitDurable blocks until every record up to and including lsn is on disk.

@@ -2,6 +2,7 @@ package wal
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -19,6 +20,17 @@ func mustOpen(t *testing.T, opts Options) *Log {
 	return l
 }
 
+// mustAppend is the test shorthand for appends that cannot legally fail
+// (in-order timestamps on an open log). It panics rather than t.Fatal so it
+// is usable from committer goroutines too.
+func mustAppend(l *Log, ts uint64, payload []byte) LSN {
+	lsn, err := l.Append(ts, payload)
+	if err != nil {
+		panic(err)
+	}
+	return lsn
+}
+
 func collect(t *testing.T, l *Log) (tss []uint64, payloads [][]byte) {
 	t.Helper()
 	if err := l.Replay(func(ts uint64, p []byte) error {
@@ -33,7 +45,7 @@ func collect(t *testing.T, l *Log) (tss []uint64, payloads [][]byte) {
 
 func TestNullModeNoDelay(t *testing.T) {
 	l := mustOpen(t, Options{})
-	lsn := l.Append(1, []byte("x"))
+	lsn := mustAppend(l, 1, []byte("x"))
 	start := time.Now()
 	if err := l.WaitDurable(lsn); err != nil {
 		t.Fatal(err)
@@ -51,7 +63,7 @@ func TestLSNsMonotonic(t *testing.T) {
 	l := mustOpen(t, Options{})
 	prev := LSN(0)
 	for i := 0; i < 100; i++ {
-		lsn := l.Append(uint64(i+1), nil)
+		lsn := mustAppend(l, uint64(i+1), nil)
 		if lsn <= prev {
 			t.Fatalf("LSN %d after %d", lsn, prev)
 		}
@@ -59,15 +71,39 @@ func TestLSNsMonotonic(t *testing.T) {
 	}
 }
 
-func TestOutOfOrderTSPanics(t *testing.T) {
+func TestOutOfOrderTSErrors(t *testing.T) {
 	l := mustOpen(t, Options{})
-	l.Append(5, nil)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic on TS regression")
-		}
-	}()
-	l.Append(4, nil)
+	if _, err := l.Append(5, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(4, nil); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("TS regression: err = %v, want ErrOutOfOrder", err)
+	}
+	// The contract violation must not have queued anything or wedged the
+	// log: appending in order still works.
+	lsn, err := l.Append(6, []byte("ok"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WaitDurable(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.StatsSnapshot(); st.Appends != 2 {
+		t.Fatalf("appends = %d, want 2 (rejected record counted?)", st.Appends)
+	}
+}
+
+func TestAppendOnClosedErrors(t *testing.T) {
+	l := mustOpen(t, Options{})
+	if _, err := l.Append(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(2, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append on closed: err = %v, want ErrClosed", err)
+	}
 }
 
 // TestGroupCommit checks the core property behind Figures 6.2-6.5: many
@@ -87,7 +123,7 @@ func TestGroupCommit(t *testing.T) {
 			defer wg.Done()
 			mu.Lock()
 			next++
-			lsn := l.Append(next, []byte("rec"))
+			lsn := mustAppend(l, next, []byte("rec"))
 			mu.Unlock()
 			if err := l.WaitDurable(lsn); err != nil {
 				t.Error(err)
@@ -117,7 +153,7 @@ func TestGroupCommitMaxDelayBatches(t *testing.T) {
 			defer wg.Done()
 			mu.Lock()
 			next++
-			lsn := l.Append(next, []byte("rec"))
+			lsn := mustAppend(l, next, []byte("rec"))
 			mu.Unlock()
 			if err := l.WaitDurable(lsn); err != nil {
 				t.Error(err)
@@ -141,7 +177,7 @@ func TestFileRoundTrip(t *testing.T) {
 	for i := 1; i <= 20; i++ {
 		p := []byte(fmt.Sprintf("record-%d", i))
 		want = append(want, p)
-		lsn := l.Append(uint64(i), p)
+		lsn := mustAppend(l, uint64(i), p)
 		if err := l.WaitDurable(lsn); err != nil {
 			t.Fatal(err)
 		}
@@ -168,7 +204,7 @@ func TestFileRoundTrip(t *testing.T) {
 func TestCloseFlushesPending(t *testing.T) {
 	dir := t.TempDir()
 	l := mustOpen(t, Options{Dir: dir})
-	l.Append(1, []byte("unwaited"))
+	mustAppend(l, 1, []byte("unwaited"))
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +221,7 @@ func writeRecords(t *testing.T, dir string, n int) string {
 	t.Helper()
 	l := mustOpen(t, Options{Dir: dir})
 	for i := 1; i <= n; i++ {
-		lsn := l.Append(uint64(i), []byte(fmt.Sprintf("r%d", i)))
+		lsn := mustAppend(l, uint64(i), []byte(fmt.Sprintf("r%d", i)))
 		if err := l.WaitDurable(lsn); err != nil {
 			t.Fatal(err)
 		}
@@ -312,7 +348,7 @@ func TestSegmentRollAndTruncate(t *testing.T) {
 	dir := t.TempDir()
 	l := mustOpen(t, Options{Dir: dir, SegmentBytes: 64})
 	for i := 1; i <= 10; i++ {
-		lsn := l.Append(uint64(i), bytes.Repeat([]byte{byte(i)}, 40))
+		lsn := mustAppend(l, uint64(i), bytes.Repeat([]byte{byte(i)}, 40))
 		if err := l.WaitDurable(lsn); err != nil {
 			t.Fatal(err)
 		}
@@ -353,7 +389,7 @@ func TestReplayAcrossSegments(t *testing.T) {
 	dir := t.TempDir()
 	l := mustOpen(t, Options{Dir: dir, SegmentBytes: 32})
 	for i := 1; i <= 12; i++ {
-		lsn := l.Append(uint64(i), []byte(fmt.Sprintf("record-%02d", i)))
+		lsn := mustAppend(l, uint64(i), []byte(fmt.Sprintf("record-%02d", i)))
 		if err := l.WaitDurable(lsn); err != nil {
 			t.Fatal(err)
 		}

@@ -133,6 +133,15 @@ func (c Config) normalized() Config {
 // Contended reports whether the configuration skews its key choice.
 func (c Config) Contended() bool { return c.Zipf > 0 || c.HotKeys > 0 }
 
+// Chooser returns the configuration's key-id chooser (uniform, hot-set or
+// Zipfian, after normalization) — exported so external drivers (the
+// ssibench network client assembling batched requests) draw keys from
+// exactly the distribution the in-process Worker uses. The returned func is
+// safe for concurrent use with per-worker *rand.Rands.
+func (c Config) Chooser() func(r *rand.Rand) int {
+	return c.normalized().chooser()
+}
+
 // chooser returns the key-id chooser for the configuration. The uniform and
 // hot-set choosers are stateless; the Zipfian chooser inverts a cumulative
 // weight table built once here, so every variant is allocation-free per call

@@ -43,6 +43,15 @@ func DefaultConfig() Config {
 	return Config{Accounts: 1000, OpsPerTxn: 1, InitialBalance: 1_000_000}
 }
 
+// Tx is the transaction surface the five SmallBank programs need — point
+// reads and writes. Both *ssidb.Txn (embedded use) and the network client's
+// interactive transaction (ssi/internal/server.RemoteTxn) satisfy it, so
+// the same program bodies drive the engine in-process and over the wire.
+type Tx interface {
+	Get(table string, key []byte) ([]byte, bool, error)
+	Put(table string, key, val []byte) error
+}
+
 func i64(v int64) []byte {
 	var b [8]byte
 	binary.BigEndian.PutUint64(b[:], uint64(v))
@@ -94,7 +103,7 @@ func Load(db *ssidb.DB, cfg Config) error {
 
 // lookup resolves a customer name to the id key (every SmallBank program
 // starts with this read).
-func lookup(tx *ssidb.Txn, n int) ([]byte, error) {
+func lookup(tx Tx, n int) ([]byte, error) {
 	id, ok, err := tx.Get(TableAccount, Name(n))
 	if err != nil {
 		return nil, err
@@ -105,7 +114,7 @@ func lookup(tx *ssidb.Txn, n int) ([]byte, error) {
 	return id, nil
 }
 
-func readBal(tx *ssidb.Txn, table string, id []byte) (int64, error) {
+func readBal(tx Tx, table string, id []byte) (int64, error) {
 	v, ok, err := tx.Get(table, id)
 	if err != nil || !ok {
 		return 0, err
@@ -114,7 +123,7 @@ func readBal(tx *ssidb.Txn, table string, id []byte) (int64, error) {
 }
 
 // Balance computes the customer's total balance (read-only).
-func Balance(tx *ssidb.Txn, n int) (int64, error) {
+func Balance(tx Tx, n int) (int64, error) {
 	id, err := lookup(tx, n)
 	if err != nil {
 		return 0, err
@@ -131,7 +140,7 @@ func Balance(tx *ssidb.Txn, n int) (int64, error) {
 }
 
 // DepositChecking adds v to the checking balance.
-func DepositChecking(tx *ssidb.Txn, n int, v int64) error {
+func DepositChecking(tx Tx, n int, v int64) error {
 	id, err := lookup(tx, n)
 	if err != nil {
 		return err
@@ -144,7 +153,7 @@ func DepositChecking(tx *ssidb.Txn, n int, v int64) error {
 }
 
 // TransactSaving adds v (possibly negative) to the savings balance.
-func TransactSaving(tx *ssidb.Txn, n int, v int64) error {
+func TransactSaving(tx Tx, n int, v int64) error {
 	id, err := lookup(tx, n)
 	if err != nil {
 		return err
@@ -160,7 +169,7 @@ func TransactSaving(tx *ssidb.Txn, n int, v int64) error {
 }
 
 // Amalgamate moves all funds of n1 into n2's checking account.
-func Amalgamate(tx *ssidb.Txn, n1, n2 int) error {
+func Amalgamate(tx Tx, n1, n2 int) error {
 	id1, err := lookup(tx, n1)
 	if err != nil {
 		return err
@@ -193,7 +202,7 @@ func Amalgamate(tx *ssidb.Txn, n1, n2 int) error {
 // WriteCheck cashes a check: if the combined balance cannot cover it, the
 // checking account is overdrawn with a $1 penalty. This is the pivot
 // transaction of the SmallBank dangerous structure.
-func WriteCheck(tx *ssidb.Txn, n int, v int64) error {
+func WriteCheck(tx Tx, n int, v int64) error {
 	id, err := lookup(tx, n)
 	if err != nil {
 		return err
@@ -212,8 +221,15 @@ func WriteCheck(tx *ssidb.Txn, n int, v int64) error {
 	return tx.Put(TableChecking, id, i64(c-v))
 }
 
+// RandomOp runs one uniformly chosen SmallBank operation inside tx —
+// exported so external drivers (the ssibench network client) run the same
+// mix through any Tx implementation.
+func RandomOp(tx Tx, r *rand.Rand, cfg Config) error {
+	return oneOp(tx, r, cfg)
+}
+
 // oneOp runs one uniformly chosen SmallBank operation inside tx.
-func oneOp(tx *ssidb.Txn, r *rand.Rand, cfg Config) error {
+func oneOp(tx Tx, r *rand.Rand, cfg Config) error {
 	n := r.Intn(cfg.Accounts)
 	amount := int64(r.Intn(10_000) + 1)
 	switch r.Intn(5) {

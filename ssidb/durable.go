@@ -22,21 +22,25 @@ import (
 
 // commitState is the per-transaction durability slot carried through
 // core.Txn (see core.Txn.SetCommitState): the redo payload going in, the
-// record's LSN coming back out of the commit hook.
+// record's LSN (or the append's refusal) coming back out of the commit hook.
 type commitState struct {
 	redo []byte
 	lsn  wal.LSN
+	err  error // Append contract error: record not queued, commit not durable
 }
 
 // walCommitHook runs inside stampCommitted, under tsMu. It must only
 // buffer: the WAL's Append takes a short mutex and copies bytes, the fsync
-// happens later in Commit, outside every engine lock.
+// happens later in Commit, outside every engine lock. An Append refusal
+// (closed log, timestamp regression) cannot unwind the already-published
+// commit, so it is carried back through the commit state for Commit to
+// surface as this transaction's error.
 func (db *DB) walCommitHook(t *core.Txn, ct core.TS) {
 	cs, _ := t.CommitState().(*commitState)
 	if cs == nil {
 		return // replay transaction, or a commit that needs no record
 	}
-	cs.lsn = db.log.Append(uint64(ct), cs.redo)
+	cs.lsn, cs.err = db.log.Append(uint64(ct), cs.redo)
 }
 
 // shouldLog reports whether this transaction's commit appends a WAL record.

@@ -129,6 +129,31 @@ func IsAbort(err error) bool {
 		errors.Is(err, ErrDeadlock) || errors.Is(err, ErrLockTimeout)
 }
 
+// Retryable reports whether err is a transient, retry-on-a-fresh-transaction
+// error: a serialization failure (ErrUnsafe), a First-Committer-Wins write
+// conflict (ErrWriteConflict), a deadlock victim (ErrDeadlock), or a lock
+// wait abandoned at Options.LockWaitTimeout (ErrLockTimeout). It is the one
+// retry classification shared by RunRetry, the server's wire error mapping
+// (internal/server sets its retryable bit from it), and the ssibench network
+// client — so retry policy cannot drift between layers.
+//
+// Today Retryable(err) == IsAbort(err); it exists as the stable, intent-named
+// API. Callers that loop on it should back off the way RunRetry does: full
+// jitter over a capped exponential ceiling (8µs doubling per consecutive
+// abort, capped at 1<<7, i.e. ~1ms), which desynchronises contending retry
+// loops and prevents the basic detector's abort-everyone livelock on hot keys.
+func Retryable(err error) bool {
+	return IsAbort(err)
+}
+
+// errText renders an error for a stats field: empty string for nil.
+func errText(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
 // Recorder receives the database's operation history. It exists so tests can
 // build the multiversion serialization graph of an execution and verify
 // serializability from the outside (the methodology of thesis §4.7). readTS
@@ -530,7 +555,7 @@ func (db *DB) Run(iso Isolation, fn func(*Txn) error) error {
 func (db *DB) RunRetry(iso Isolation, fn func(*Txn) error) error {
 	for attempt := 0; ; attempt++ {
 		err := db.Run(iso, fn)
-		if err == nil || !IsAbort(err) {
+		if err == nil || !Retryable(err) {
 			return err
 		}
 		if attempt > 0 {
@@ -680,6 +705,15 @@ type Stats struct {
 	RecoveryReplayed   uint64
 	Checkpoints        uint64
 
+	// WAL health. The flusher's first I/O error is sticky: every commit
+	// after it fails its durability wait, and the only recovery is reopening
+	// the database. WALDegraded surfaces that state as a poll-able health
+	// field (with WALErr the error text) so an operator — or the server's
+	// stats endpoint — can see degraded durability without waiting for the
+	// next commit to trip over it.
+	WALDegraded bool
+	WALErr      string
+
 	// Lock-wait instrumentation, cumulative since Open. LockWaits counts
 	// lock requests that found a blocker; LockSpinGrants the subset that
 	// resolved during the lock manager's bounded spin; LockParks the subset
@@ -718,8 +752,10 @@ func (db *DB) StatsSnapshot() Stats {
 	cs := db.mgr.StatsSnapshot()
 	ls := db.locks.StatsSnapshot()
 	var ws wal.Stats
+	var walErr error
 	if db.log != nil {
 		ws = db.log.StatsSnapshot()
+		walErr = db.log.Err()
 	}
 	var avgBatch float64
 	if ws.Batches > 0 {
@@ -738,11 +774,11 @@ func (db *DB) StatsSnapshot() Stats {
 		ROSafePromotions: db.roPromotions.Load(),
 		RODeferredWaits:  db.roDeferredWaits.Load(),
 		ROSIReadSkips:    db.roSIReadSkips.Load(),
-		ActiveTxns:     cs.Active,
-		SuspendedTxns:  cs.Suspended,
-		LockedKeys:     ls.Keys,
-		LockOwners:     ls.Owners,
-		LogFlushes:     ws.Fsyncs,
+		ActiveTxns:       cs.Active,
+		SuspendedTxns:    cs.Suspended,
+		LockedKeys:       ls.Keys,
+		LockOwners:       ls.Owners,
+		LogFlushes:       ws.Fsyncs,
 
 		WALAppends:         ws.Appends,
 		GroupCommitBatches: ws.Batches,
@@ -750,6 +786,8 @@ func (db *DB) StatsSnapshot() Stats {
 		AvgBatchSize:       avgBatch,
 		RecoveryReplayed:   db.recovered.Load(),
 		Checkpoints:        db.checkpoints.Load(),
+		WALDegraded:        walErr != nil,
+		WALErr:             errText(walErr),
 
 		LockWaits:      ls.Waits,
 		LockSpinGrants: ls.SpinGrants,

@@ -168,11 +168,18 @@ func (tx *Txn) Commit() error {
 	var walErr error
 	if logged {
 		cs := tx.t.CommitState().(*commitState)
-		// The fsync wait happens outside every engine lock. On error the
-		// commit is already published in memory but its durability is
-		// unknown; the log error is sticky and is reported to this caller
-		// and every subsequent durable commit.
-		walErr = tx.db.log.WaitDurable(cs.lsn)
+		if cs.err != nil {
+			// The append itself was refused (closed log, timestamp
+			// regression): no record was queued, so there is nothing to
+			// wait for and the commit is not durable.
+			walErr = cs.err
+		} else {
+			// The fsync wait happens outside every engine lock. On error the
+			// commit is already published in memory but its durability is
+			// unknown; the log error is sticky and is reported to this caller
+			// and every subsequent durable commit.
+			walErr = tx.db.log.WaitDurable(cs.lsn)
+		}
 	}
 	tx.db.locks.ReleaseBlocking(tx.t)
 	keep := tx.t.Isolation().TracksConflicts() &&
