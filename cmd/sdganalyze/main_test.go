@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: output differs from golden file (re-run with -update after intentional changes)\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+func TestJSONGolden(t *testing.T) {
+	for _, tc := range []struct {
+		set, fix, file string
+	}{
+		{"smallbank", "", "smallbank.json"},
+		{"tpcc", "", "tpcc.json"},
+		{"tpccpp", "", "tpccpp.json"},
+		{"smallbank", "PromoteBW", "smallbank_promotebw.json"},
+	} {
+		g, err := buildGraph(tc.set, tc.fix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := writeJSON(&buf, tc.set, tc.fix, g); err != nil {
+			t.Fatal(err)
+		}
+		golden(t, tc.file, buf.Bytes())
+	}
+}
+
+func TestDOTGolden(t *testing.T) {
+	for _, set := range []string{"smallbank", "tpccpp"} {
+		g, err := buildGraph(set, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := writeDOT(&buf, set, g); err != nil {
+			t.Fatal(err)
+		}
+		golden(t, set+".dot", buf.Bytes())
+	}
+}
+
+// TestJSONVerdicts pins the three thesis verdicts the CI robustness gate
+// asserts, independent of golden-file churn: SmallBank's pivot is WriteCheck
+// (Figure 2.9), TPC-C is robust (Figure 2.8), and TPC-C++ has the NEWO and
+// CCHECK pivots (Figure 5.3) fixable by one promotion.
+func TestJSONVerdicts(t *testing.T) {
+	get := func(set string) jsonReport {
+		g, err := buildGraph(set, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := writeJSON(&buf, set, "", g); err != nil {
+			t.Fatal(err)
+		}
+		var rep jsonReport
+		if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	sb := get("smallbank")
+	if sb.Serializable || len(sb.Pivots) != 1 || sb.Pivots[0] != "WC" {
+		t.Errorf("smallbank: serializable=%v pivots=%v, want pivot WC only", sb.Serializable, sb.Pivots)
+	}
+	if len(sb.AutoRemedies) != 1 || sb.AutoRemedies[0] != (jsonRemedy{From: "Bal", To: "WC"}) {
+		t.Errorf("smallbank auto_remedies = %v, want [{Bal WC}]", sb.AutoRemedies)
+	}
+
+	tp := get("tpcc")
+	if !tp.Serializable || len(tp.Pivots) != 0 {
+		t.Errorf("tpcc: serializable=%v pivots=%v, want robust", tp.Serializable, tp.Pivots)
+	}
+
+	pp := get("tpccpp")
+	if pp.Serializable || len(pp.Pivots) != 2 || pp.Pivots[0] != "CCHECK" || pp.Pivots[1] != "NEWO" {
+		t.Errorf("tpccpp: serializable=%v pivots=%v, want CCHECK and NEWO", pp.Serializable, pp.Pivots)
+	}
+}
+
+func TestBuildGraphErrors(t *testing.T) {
+	if _, err := buildGraph("nope", ""); err == nil {
+		t.Error("unknown set: want error")
+	}
+	if _, err := buildGraph("tpcc", "PromoteBW"); err == nil {
+		t.Error("-fix on tpcc: want error")
+	}
+	if _, err := buildGraph("smallbank", "Nope"); err == nil {
+		t.Error("unknown fix: want error")
+	}
+}

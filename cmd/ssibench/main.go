@@ -14,6 +14,8 @@
 //	ssibench -scaling                 # shard-count × MPL scaling sweep
 //	ssibench -scaling -contention     # hot-key kvmix: the conflict path
 //	ssibench -scaling -readonly       # read-mostly mix, readers declared RO
+//	ssibench -scaling -tpcc           # TPC-C mix (tiny scaling, W=1)
+//	ssibench -scaling -tpcc -programs # TPC-C via registered programs: plain SI
 //	ssibench -scaling -json           # also write BENCH_<name>.json
 //
 // The -scaling mode goes beyond the paper: it sweeps the lock-table shard
@@ -26,6 +28,14 @@
 // kvmix never exercises. -json writes each run's results as a
 // machine-readable BENCH_<name>.json next to the human-readable table, so
 // CI can archive and diff performance trajectories.
+//
+// -programs (with -smallbank or -tpcc) registers the workload's declared
+// transaction programs and drives every transaction through RunProgram, so
+// the engine's robustness analysis — not the -iso flag — picks the
+// isolation level: TPC-C is robust as declared and runs at plain SI;
+// SmallBank becomes robust after the automatic PromoteBW remedy and also
+// runs at plain SI. Comparing a -programs sweep against the same workload
+// at -iso SSI prices what the static proof saves at runtime.
 package main
 
 import (
@@ -45,6 +55,7 @@ import (
 	"ssi/internal/harness"
 	"ssi/internal/workload/kvmix"
 	"ssi/internal/workload/smallbank"
+	"ssi/internal/workload/tpcc"
 	"ssi/ssidb"
 )
 
@@ -66,6 +77,8 @@ func main() {
 		scanStall  = flag.Bool("scanstall", false, "with -scaling: run continuous full-table scans over a 100k-key table against MPL point writers, sweeping Options.TableShards and reporting the writers' commit-latency percentiles alongside throughput — the writer-stall probe for the lock-coupled scan")
 		readOnly   = flag.Bool("readonly", false, "with -scaling: use the read-mostly kvmix mix (90% pure-reader transactions declared read-only), exercising the declared-RO SSI fast path — no out-edge tracking, SIREAD-free reads on safe snapshots")
 		smallBank  = flag.Bool("smallbank", false, "with -scaling: use the SmallBank benchmark (Alomari et al. 2008, thesis §5.1) instead of kvmix — five mixed read/write transaction programs whose WriteCheck pivot makes plain SI non-serializable")
+		tpccFlag   = flag.Bool("tpcc", false, "with -scaling: use the TPC-C workload (tiny scaling, W=1, standard mix without CreditCheck) instead of kvmix — the thesis's robust workload, serializable even at plain SI")
+		programs   = flag.Bool("programs", false, "with -scaling -smallbank or -tpcc: register the workload's declared transaction programs and run every transaction through RunProgram at the level the robustness analysis justifies (both sets prove robust, so plain SI); incompatible with -iso")
 		durable    = flag.Bool("durable", false, "with -scaling: commit through a real on-disk WAL (group-commit fsyncs in a per-cell temp directory) instead of in-memory; cells report WAL batch counters")
 		gcDelay    = flag.Duration("gcdelay", 0, "with -durable: group-commit flusher linger (Options.GroupCommitMaxDelay); 0 relies on natural batching while a sync is in flight")
 		jsonOut    = flag.Bool("json", false, "also write machine-readable results as BENCH_<name>.json")
@@ -78,7 +91,7 @@ func main() {
 		// Client mode drives a separate server process; the in-process
 		// sweep flags have no meaning here.
 		for _, f := range []string{"figure", "paper-scale", "scaling", "shards", "mpl", "trials",
-			"waitstats", "storage", "scanstall", "readonly", "durable", "gcdelay", "csv"} {
+			"waitstats", "storage", "scanstall", "readonly", "durable", "gcdelay", "csv", "tpcc", "programs"} {
 			if flagWasSet(f) {
 				fmt.Fprintf(os.Stderr, "ssibench: -%s does not apply to -server\n", f)
 				os.Exit(2)
@@ -115,14 +128,24 @@ func main() {
 			}
 		}
 		modes := 0
-		for _, m := range []bool{*storage, *contention, *scanStall, *readOnly, *smallBank} {
+		for _, m := range []bool{*storage, *contention, *scanStall, *readOnly, *smallBank, *tpccFlag} {
 			if m {
 				modes++
 			}
 		}
 		if modes > 1 {
-			fmt.Fprintf(os.Stderr, "ssibench: -storage, -contention, -scanstall, -readonly and -smallbank select different scenarios; pick one\n")
+			fmt.Fprintf(os.Stderr, "ssibench: -storage, -contention, -scanstall, -readonly, -smallbank and -tpcc select different scenarios; pick one\n")
 			os.Exit(2)
+		}
+		if *programs {
+			if !*smallBank && !*tpccFlag {
+				fmt.Fprintf(os.Stderr, "ssibench: -programs requires -smallbank or -tpcc (the workloads with declared program sets)\n")
+				os.Exit(2)
+			}
+			if flagWasSet("iso") {
+				fmt.Fprintf(os.Stderr, "ssibench: -iso does not apply to -programs; the robustness analysis picks the level\n")
+				os.Exit(2)
+			}
 		}
 		if *scanStall && *durable {
 			fmt.Fprintf(os.Stderr, "ssibench: -durable does not apply to -scanstall\n")
@@ -153,13 +176,14 @@ func main() {
 		runScaling(scalingConfig{
 			shardList: *shardList, mplList: *mplList, iso: iso,
 			storage: *storage, hot: *contention, readOnly: *readOnly, smallBank: *smallBank,
+			tpcc: *tpccFlag, programs: *programs,
 			durable: *durable, gcDelay: *gcDelay,
 			waitStats: *waitStats, jsonOut: *jsonOut,
 			duration: *duration, warmup: *warmup, trials: *trials, csv: openCSV(*csvPath),
 		})
 		return
 	}
-	for _, f := range []string{"shards", "iso", "waitstats", "storage", "contention", "scanstall", "readonly", "smallbank", "durable", "gcdelay"} {
+	for _, f := range []string{"shards", "iso", "waitstats", "storage", "contention", "scanstall", "readonly", "smallbank", "tpcc", "programs", "durable", "gcdelay"} {
 		// Symmetric with the check above: these flags only drive -scaling.
 		if flagWasSet(f) {
 			fmt.Fprintf(os.Stderr, "ssibench: -%s requires -scaling\n", f)
@@ -223,6 +247,15 @@ type benchCell struct {
 	ROBegins     uint64 `json:"ro_begins,omitempty"`
 	ROPromotions uint64 `json:"ro_promotions,omitempty"`
 	ROSkips      uint64 `json:"ro_siread_skips,omitempty"`
+
+	// Program-registry counters for the measured window (-programs runs):
+	// RunProgram executions, how many were admitted at plain SI, footprint
+	// violations and escalation events. A robust run has ProgramSIRuns ==
+	// ProgramRuns and zeros elsewhere.
+	ProgramRuns         uint64 `json:"program_runs,omitempty"`
+	ProgramSIRuns       uint64 `json:"program_si_runs,omitempty"`
+	FootprintViolations uint64 `json:"footprint_violations,omitempty"`
+	SDGEscalations      uint64 `json:"sdg_escalations,omitempty"`
 
 	// WAL counters for the measured window (-durable runs). AvgBatchSize
 	// above 1 is group commit amortising fsyncs across committers.
@@ -309,6 +342,10 @@ func cellFromResult(res harness.Result, shards int, st *ssidb.Stats) benchCell {
 		c.ROBegins = st.ROBegins
 		c.ROPromotions = st.ROSafePromotions
 		c.ROSkips = st.ROSIReadSkips
+		c.ProgramRuns = st.ProgramRuns
+		c.ProgramSIRuns = st.ProgramSIRuns
+		c.FootprintViolations = st.FootprintViolations
+		c.SDGEscalations = st.SDGEscalations
 		c.WALAppends = st.WALAppends
 		c.GroupCommitBatches = st.GroupCommitBatches
 		c.Fsyncs = st.Fsyncs
@@ -393,6 +430,8 @@ type scalingConfig struct {
 	hot                bool // hot-key kvmix
 	readOnly           bool // read-mostly kvmix, readers declared RO
 	smallBank          bool // SmallBank instead of kvmix
+	tpcc               bool // TPC-C instead of kvmix
+	programs           bool // drive via the registered-program machinery
 	durable            bool // real on-disk WAL per cell
 	gcDelay            time.Duration
 	waitStats, jsonOut bool
@@ -438,6 +477,8 @@ func runScaling(c scalingConfig) {
 	workload := "kvmix-uniform"
 	cfg := kvmix.DefaultConfig()
 	sbCfg := smallbank.DefaultConfig()
+	tpCfg := tpcc.DefaultConfig()
+	tpCfg.Tiny = true
 	switch {
 	case c.storage:
 		axis, col = "table", "tshards"
@@ -454,10 +495,34 @@ func runScaling(c scalingConfig) {
 	case c.smallBank:
 		axis = "lock-smallbank"
 		workload = "smallbank"
+	case c.tpcc:
+		axis = "lock-tpcc"
+		workload = "tpcc"
+	}
+	var report *ssidb.ProgramReport
+	if c.programs {
+		axis += "-programs"
+		workload += "-programs"
+		// Pre-flight the analysis on a throwaway DB so the header, CSV and
+		// JSON carry the justified level rather than the -iso default; every
+		// cell re-registers on its own DB and gets the identical verdict.
+		pre := ssidb.Open(ssidb.Options{})
+		var err error
+		if c.smallBank {
+			report, err = smallbank.Register(pre, true)
+		} else {
+			report, err = tpcc.Register(pre)
+		}
+		pre.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ssibench: %v\n", err)
+			os.Exit(1)
+		}
+		c.iso = report.Level
 	}
 	if c.csv != nil {
 		defer c.csv.Close()
-		fmt.Fprintf(c.csv, "axis,iso,mpl,shards,durable,tps,ci95,commits,deadlocks,conflicts,unsafe,timeouts,lockwaits,spingrants,parks,wakeups,waitms,robegins,ropromotions,roskips,walappends,gcbatches,fsyncs,avgbatch\n")
+		fmt.Fprintf(c.csv, "axis,iso,mpl,shards,durable,tps,ci95,commits,deadlocks,conflicts,unsafe,timeouts,lockwaits,spingrants,parks,wakeups,waitms,robegins,ropromotions,roskips,walappends,gcbatches,fsyncs,avgbatch,progruns,progsiruns,fpviolations,escalations\n")
 	}
 
 	switch {
@@ -479,6 +544,10 @@ func runScaling(c scalingConfig) {
 		fmt.Printf("== SmallBank sweep (%d accounts, %s) ==\n", sbCfg.Accounts, c.iso)
 		fmt.Println("   commits/s by MPL (rows) and lock shard count (columns);")
 		fmt.Println("   five mixed programs incl. the WriteCheck pivot (thesis §5.1).")
+	case c.tpcc:
+		fmt.Printf("== TPC-C sweep (W=%d, tiny scaling, %s) ==\n", tpCfg.Warehouses, c.iso)
+		fmt.Println("   commits/s by MPL (rows) and lock shard count (columns);")
+		fmt.Println("   standard mix (no CreditCheck) — robust, serializable at plain SI (Fekete fig 2.8).")
 	default:
 		fmt.Printf("== Lock-shard scaling sweep (kvmix, %s) ==\n", c.iso)
 		fmt.Println("   commits/s by MPL (rows) and lock shard count (columns);")
@@ -486,6 +555,13 @@ func runScaling(c scalingConfig) {
 	}
 	if c.durable {
 		fmt.Printf("   durable: real group-commit WAL per cell (linger %v).\n", c.gcDelay)
+	}
+	if report != nil {
+		fmt.Printf("   programs: robust=%v -> every transaction via RunProgram at %s", report.Robust, report.Level)
+		if len(report.Remedies) > 0 {
+			fmt.Printf(" (remedies: %v)", report.Remedies)
+		}
+		fmt.Println()
 	}
 	fmt.Printf("%-6s", "MPL")
 	for _, s := range shards {
@@ -510,7 +586,7 @@ func runScaling(c scalingConfig) {
 		fmt.Printf("%-6d", mpl)
 		var cellStats []ssidb.Stats
 		for _, s := range shards {
-			res, st := scalingCell(c, cfg, sbCfg, s, mpl, opts)
+			res, st := scalingCell(c, cfg, sbCfg, tpCfg, s, mpl, opts)
 			cellStats = append(cellStats, st)
 			cell := fmt.Sprintf("%.0f", res.TPS)
 			if res.TPSCI95 > 0 {
@@ -518,12 +594,13 @@ func runScaling(c scalingConfig) {
 			}
 			fmt.Printf("%14s", cell)
 			if c.csv != nil {
-				fmt.Fprintf(c.csv, "%s,%s,%d,%d,%t,%.1f,%.1f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.1f,%d,%d,%d,%d,%d,%d,%.2f\n",
+				fmt.Fprintf(c.csv, "%s,%s,%d,%d,%t,%.1f,%.1f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.1f,%d,%d,%d,%d,%d,%d,%.2f,%d,%d,%d,%d\n",
 					axis, c.iso, mpl, s, c.durable, res.TPS, res.TPSCI95, res.Commits, res.Deadlocks, res.Conflicts, res.Unsafe,
 					res.Timeouts, st.LockWaits, st.LockSpinGrants, st.LockParks, st.LockWakeups,
 					float64(st.LockWaitTime)/float64(time.Millisecond),
 					st.ROBegins, st.ROSafePromotions, st.ROSIReadSkips,
-					st.WALAppends, st.GroupCommitBatches, st.Fsyncs, st.AvgBatchSize)
+					st.WALAppends, st.GroupCommitBatches, st.Fsyncs, st.AvgBatchSize,
+					st.ProgramRuns, st.ProgramSIRuns, st.FootprintViolations, st.SDGEscalations)
 			}
 			if c.jsonOut {
 				jc := cellFromResult(res, s, &st)
@@ -554,7 +631,7 @@ func runScaling(c scalingConfig) {
 }
 
 // scalingCell measures one (shard count, MPL) cell: open, load, run, close.
-func scalingCell(c scalingConfig, cfg kvmix.Config, sbCfg smallbank.Config, s, mpl int, opts harness.Options) (harness.Result, ssidb.Stats) {
+func scalingCell(c scalingConfig, cfg kvmix.Config, sbCfg smallbank.Config, tpCfg tpcc.Config, s, mpl int, opts harness.Options) (harness.Result, ssidb.Stats) {
 	dbOpts := ssidb.Options{Detector: ssidb.DetectorPrecise, LockShards: s}
 	if c.storage {
 		dbOpts = ssidb.Options{Detector: ssidb.DetectorPrecise, TableShards: s}
@@ -581,13 +658,38 @@ func scalingCell(c scalingConfig, cfg kvmix.Config, sbCfg smallbank.Config, s, m
 	defer db.Close()
 
 	var worker harness.TxnFunc
-	if c.smallBank {
+	switch {
+	case c.smallBank:
 		if err := smallbank.Load(db, sbCfg); err != nil {
 			fmt.Fprintf(os.Stderr, "ssibench: %v\n", err)
 			os.Exit(1)
 		}
-		worker = smallbank.Worker(db, c.iso, sbCfg)
-	} else {
+		if c.programs {
+			// Register after the (ad-hoc) load so the proof covers exactly
+			// the measured traffic.
+			if _, err := smallbank.Register(db, true); err != nil {
+				fmt.Fprintf(os.Stderr, "ssibench: %v\n", err)
+				os.Exit(1)
+			}
+			worker = smallbank.ProgramWorker(db, sbCfg)
+		} else {
+			worker = smallbank.Worker(db, c.iso, sbCfg)
+		}
+	case c.tpcc:
+		if err := tpcc.Load(db, tpCfg); err != nil {
+			fmt.Fprintf(os.Stderr, "ssibench: %v\n", err)
+			os.Exit(1)
+		}
+		if c.programs {
+			if _, err := tpcc.Register(db); err != nil {
+				fmt.Fprintf(os.Stderr, "ssibench: %v\n", err)
+				os.Exit(1)
+			}
+			worker = tpcc.ProgramWorker(db, tpCfg)
+		} else {
+			worker = tpcc.Worker(db, c.iso, tpCfg)
+		}
+	default:
 		if err := kvmix.Load(db, cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "ssibench: %v\n", err)
 			os.Exit(1)
@@ -793,6 +895,10 @@ func waitDelta(after, base ssidb.Stats) ssidb.Stats {
 	after.ROSafePromotions -= base.ROSafePromotions
 	after.RODeferredWaits -= base.RODeferredWaits
 	after.ROSIReadSkips -= base.ROSIReadSkips
+	after.ProgramRuns -= base.ProgramRuns
+	after.ProgramSIRuns -= base.ProgramSIRuns
+	after.FootprintViolations -= base.FootprintViolations
+	after.SDGEscalations -= base.SDGEscalations
 	after.WALAppends -= base.WALAppends
 	after.GroupCommitBatches -= base.GroupCommitBatches
 	after.Fsyncs -= base.Fsyncs

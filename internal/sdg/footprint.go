@@ -1,0 +1,66 @@
+package sdg
+
+import "sort"
+
+// ---------------------------------------------------------------------------
+// Footprint export and mechanical remediation.
+//
+// The analysis above is a *static* proof: it holds only for executions in
+// which every transaction instance touches nothing outside its program's
+// declared read and write sets. The engine-side registry (ssidb) enforces
+// that at runtime, so it needs the declared sets in class form — and, when a
+// set of programs is not robust, a deterministic way to apply the thesis
+// remedies until it is.
+
+// ReadClasses returns the distinct item classes the program reads, sorted.
+func (p *Program) ReadClasses() []string { return classes(p.Reads) }
+
+// WriteClasses returns the distinct item classes the program writes, sorted.
+func (p *Program) WriteClasses() []string { return classes(p.Writes) }
+
+func classes(items []Item) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, it := range items {
+		if !seen[it.Class] {
+			seen[it.Class] = true
+			out = append(out, it.Class)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Remedy records one mechanical Promote application: the vulnerable
+// From→To edge whose reader gained identity writes.
+type Remedy struct {
+	From, To string
+}
+
+// AutoPromote repeatedly applies Promote to break dangerous structures until
+// the program set is robust (serializable under plain SI) or no further
+// progress is possible. Each round it targets the In→Pivot edge of the first
+// dangerous structure in DangerousStructures() order, which is deterministic,
+// so a given program set always receives the same remedies. For SmallBank the
+// single structure is Bal ~> WC ~> TS, so AutoPromote applies exactly the
+// thesis's PromoteBW option (§2.8.5).
+//
+// Promote only ever adds write items, and the space of (program, class) write
+// pairs is finite, so the loop terminates; callers must still check
+// Serializable() on the result, since promotion is not guaranteed to converge
+// for every pathological input.
+func AutoPromote(g *Graph) (*Graph, []Remedy) {
+	var remedies []Remedy
+	// Each Promote removes at least the targeted edge's vulnerability, so
+	// |programs|² rounds bound any possible sequence of distinct edges.
+	for i := 0; i <= len(g.Programs)*len(g.Programs); i++ {
+		ds := g.DangerousStructures()
+		if len(ds) == 0 {
+			return g, remedies
+		}
+		d := ds[0]
+		g = Promote(g, d.In, d.Pivot)
+		remedies = append(remedies, Remedy{From: d.In, To: d.Pivot})
+	}
+	return g, remedies
+}

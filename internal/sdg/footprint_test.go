@@ -1,0 +1,75 @@
+package sdg
+
+import (
+	"reflect"
+	"testing"
+)
+
+func prog(t *testing.T, g *Graph, name string) *Program {
+	t.Helper()
+	p := g.byName[name]
+	if p == nil {
+		t.Fatalf("program %q not in graph", name)
+	}
+	return p
+}
+
+func TestFootprintClasses(t *testing.T) {
+	g := New(SmallBank()...)
+	bal := prog(t, g, "Bal")
+	if got, want := bal.ReadClasses(), []string{"Account", "Checking", "Saving"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Bal.ReadClasses() = %v, want %v", got, want)
+	}
+	if got := bal.WriteClasses(); len(got) != 0 {
+		t.Errorf("Bal.WriteClasses() = %v, want empty", got)
+	}
+	amg := prog(t, g, "Amg")
+	if got, want := amg.WriteClasses(), []string{"Checking", "Saving"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Amg.WriteClasses() = %v, want %v", got, want)
+	}
+}
+
+// AutoPromote on SmallBank must mechanically discover PromoteBW: the only
+// dangerous structure is Bal ~> WC ~> TS, so the first (and only) remedy
+// promotes the Bal→WC edge, exactly the thesis §2.8.5 option.
+func TestAutoPromoteSmallBank(t *testing.T) {
+	fixed, remedies := AutoPromote(New(SmallBank()...))
+	if !fixed.Serializable() {
+		t.Fatalf("AutoPromote(SmallBank) not serializable; structures: %v", fixed.DangerousStructures())
+	}
+	if want := []Remedy{{From: "Bal", To: "WC"}}; !reflect.DeepEqual(remedies, want) {
+		t.Errorf("remedies = %v, want %v", remedies, want)
+	}
+	// The promoted Bal gains an identity write of its Checking read (WC's
+	// only write class), turning the vulnerable edge into a forced ww.
+	bal := prog(t, fixed, "Bal")
+	if got, want := bal.WriteClasses(), []string{"Checking"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("promoted Bal.WriteClasses() = %v, want %v", got, want)
+	}
+	if fixed.Vulnerable("Bal", "WC") {
+		t.Error("Bal~>WC still vulnerable after promotion")
+	}
+}
+
+// TPC-C is robust as-is (Figure 2.8): AutoPromote must be a no-op.
+func TestAutoPromoteTPCCNoOp(t *testing.T) {
+	fixed, remedies := AutoPromote(New(TPCC()...))
+	if !fixed.Serializable() {
+		t.Fatal("TPCC should already be serializable under SI")
+	}
+	if len(remedies) != 0 {
+		t.Errorf("remedies = %v, want none", remedies)
+	}
+}
+
+// TPC-C++ has two pivots (NEWO and CCHECK, Figure 5.3); promoting NEWO's
+// CustomerCredit read against CCHECK breaks every structure in one step.
+func TestAutoPromoteTPCCPP(t *testing.T) {
+	fixed, remedies := AutoPromote(New(TPCCPP()...))
+	if !fixed.Serializable() {
+		t.Fatalf("AutoPromote(TPCCPP) not serializable; structures: %v", fixed.DangerousStructures())
+	}
+	if want := []Remedy{{From: "NEWO", To: "CCHECK"}}; !reflect.DeepEqual(remedies, want) {
+		t.Errorf("remedies = %v, want %v", remedies, want)
+	}
+}

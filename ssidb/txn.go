@@ -42,6 +42,15 @@ type Txn struct {
 	// of the transaction.
 	ro     bool
 	roSafe bool
+
+	// prog, when non-nil, marks a program transaction (BeginProgram): every
+	// access is checked against the program's declared table footprint, and
+	// reads of promoted tables perform the §2.6.2 identity write. The tokens
+	// are the transaction's shares of the DB's SI-program / ad-hoc drain
+	// counters, released exactly once when the transaction finishes.
+	prog        *registeredProgram
+	progSIToken bool
+	adhocToken  bool
 }
 
 type writeRec struct {
@@ -128,8 +137,22 @@ func (tx *Txn) cleanupAbort() {
 	cleaned := tx.db.mgr.Abort(tx.t)
 	tx.db.locks.ReleaseAll(tx.t)
 	tx.db.afterCleanup(cleaned)
+	tx.releaseProgTokens()
 	if r := tx.db.opts.Recorder; r != nil {
 		r.RecAbort(tx.t.ID())
+	}
+}
+
+// releaseProgTokens returns the transaction's shares of the robustness
+// subsystem's drain counters. Idempotent; called on every finish path.
+func (tx *Txn) releaseProgTokens() {
+	if tx.progSIToken {
+		tx.progSIToken = false
+		tx.db.siProgActive.Add(-1)
+	}
+	if tx.adhocToken {
+		tx.adhocToken = false
+		tx.db.adhocActive.Add(-1)
 	}
 }
 
@@ -163,6 +186,7 @@ func (tx *Txn) Commit() error {
 		if errors.Is(err, ErrUnsafe) {
 			tx.cleanupAbort()
 		}
+		tx.releaseProgTokens()
 		return err
 	}
 	var walErr error
@@ -187,6 +211,7 @@ func (tx *Txn) Commit() error {
 	cleaned := tx.db.mgr.Finish(tx.t, keep)
 	tx.done = true
 	tx.db.afterCleanup(cleaned)
+	tx.releaseProgTokens()
 	if r := tx.db.opts.Recorder; r != nil {
 		r.RecCommit(tx.t.ID(), ct)
 	}
@@ -253,6 +278,9 @@ func (tx *Txn) Get(tableName string, key []byte) (val []byte, found bool, err er
 	if err := tx.pre(); err != nil {
 		return nil, false, err
 	}
+	if err := tx.progReadCheck(tableName); err != nil {
+		return nil, false, err
+	}
 	tb := tx.db.table(tableName)
 	if tx.t.Isolation() == S2PL {
 		return tx.getS2PL(tb, key)
@@ -281,6 +309,14 @@ func (tx *Txn) Get(tableName string, key []byte) (val []byte, found bool, err er
 		}
 	}
 	tx.recRead(tb, key, res.VisibleCreator, snap)
+	if tx.prog != nil && tx.prog.promoted[tableName] && res.Found {
+		// Runtime half of the Promote remedy (§2.6.2): re-write the value
+		// just read, so a concurrent writer of this row collides under
+		// First-Committer-Wins — the vulnerable rw edge becomes ww.
+		if err := tx.write(tableName, key, append([]byte(nil), res.Value...), false, false); err != nil {
+			return nil, false, err
+		}
+	}
 	return res.Value, res.Found, nil
 }
 
@@ -346,6 +382,14 @@ func (tx *Txn) GetForUpdate(tableName string, key []byte) (val []byte, found boo
 		// must use Get.
 		return nil, false, ErrReadOnly
 	}
+	// A locked read is both a read and a write intent: the footprint must
+	// declare the table in both directions.
+	if err := tx.progReadCheck(tableName); err != nil {
+		return nil, false, err
+	}
+	if err := tx.progWriteCheck(tableName); err != nil {
+		return nil, false, err
+	}
 	tb := tx.db.table(tableName)
 	if tx.t.Isolation() == S2PL {
 		if err := tx.s2plWriteLock(tb, key, false); err != nil {
@@ -396,6 +440,9 @@ func (tx *Txn) write(tableName string, key, val []byte, tombstone, mustNotExist 
 		// this gate — a declared read-only transaction must never reach the
 		// write-lock or version-install paths.
 		return ErrReadOnly
+	}
+	if err := tx.progWriteCheck(tableName); err != nil {
+		return err
 	}
 	tb := tx.db.table(tableName)
 	structural := tombstone || mustNotExist || !tb.data.Exists(key)
@@ -665,6 +712,9 @@ func (tx *Txn) scan(tableName string, from, to []byte, limit int, fn func(key, v
 	if err := tx.pre(); err != nil {
 		return err
 	}
+	if err := tx.progReadCheck(tableName); err != nil {
+		return err
+	}
 	tb := tx.db.table(tableName)
 	if from == nil {
 		from = []byte{}
@@ -689,12 +739,26 @@ func (tx *Txn) scan(tableName string, from, to []byte, limit int, fn func(key, v
 		}
 		r.RecScan(tx.t.ID(), tb.name, string(from), effTo, tx.readStamp(snap))
 	}
+	// Promoted tables identity-write every row the caller was shown (the
+	// scan-shaped half of §2.6.2); keys and values are copied out first —
+	// the write path mutates the tree the scan buffers point into.
+	promote := tx.prog != nil && tx.prog.promoted[tableName]
+	var promoteKeys, promoteVals [][]byte
 	for _, it := range items.items {
 		tx.recRead(tb, it.Key, it.VisibleCreator, tx.readStamp(snap))
 		if it.Found {
+			if promote {
+				promoteKeys = append(promoteKeys, append([]byte(nil), it.Key...))
+				promoteVals = append(promoteVals, append([]byte(nil), it.Value...))
+			}
 			if !fn(it.Key, it.Value) {
 				break
 			}
+		}
+	}
+	for i, k := range promoteKeys {
+		if err := tx.write(tableName, k, promoteVals[i], false, false); err != nil {
+			return err
 		}
 	}
 	return nil
